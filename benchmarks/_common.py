@@ -1,0 +1,29 @@
+"""Shared table formatting for the benchmark harness.
+
+Every benchmark regenerates one of the paper's claims (see DESIGN.md's
+experiment index) and prints it as a small table; run pytest with ``-s``
+to see them.  The assertions inside each benchmark check the claim's
+*shape* (who wins, how quantities scale), so the harness doubles as a
+verification suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def print_table(
+    title: str, header: Sequence[str], rows: Iterable[Sequence[object]]
+) -> None:
+    print()
+    print(f"== {title} ==")
+    widths = [max(10, len(h) + 2) for h in header]
+    print("".join(h.rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        cells = []
+        for value, width in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:.3f}".rjust(width))
+            else:
+                cells.append(str(value).rjust(width))
+        print("".join(cells))

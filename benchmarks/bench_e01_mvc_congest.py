@@ -1,0 +1,60 @@
+"""E1 — Theorem 1: (1+eps)-approximate G^2-MVC in O(n/eps) CONGEST rounds.
+
+Regenerates the theorem's two claims as a table: the measured
+approximation ratio never exceeds 1+eps, and rounds scale linearly in
+``n`` and in ``1/eps`` (rounds / (n/eps) stays bounded as n doubles).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+from repro.core.mvc_congest import approx_mvc_square
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import gnp_graph
+from repro.graphs.power import square
+from repro.graphs.validation import assert_vertex_cover
+
+SIZES = (24, 48, 96)
+EPSILONS = (0.5, 0.25)
+
+
+def _run_grid():
+    rows = []
+    normalized = []
+    for eps in EPSILONS:
+        for n in SIZES:
+            graph = gnp_graph(n, min(0.3, 5.0 / n), seed=n)
+            result = approx_mvc_square(graph, eps, seed=n)
+            sq = square(graph)
+            assert_vertex_cover(sq, result.cover)
+            opt = len(minimum_vertex_cover(sq))
+            ratio = len(result.cover) / opt
+            assert ratio <= 1 + eps + 1e-9
+            norm = result.stats.rounds / (n / eps)
+            normalized.append(norm)
+            rows.append((n, eps, result.stats.rounds, norm, ratio, 1 + eps))
+    return rows, normalized
+
+
+def test_theorem1_round_scaling(benchmark):
+    rows, normalized = benchmark.pedantic(_run_grid, rounds=1, iterations=1)
+    print_table(
+        "E1 / Theorem 1: rounds and ratio vs (n, eps)",
+        ["n", "eps", "rounds", "rounds/(n/eps)", "ratio", "guarantee"],
+        rows,
+    )
+    # Shape: the normalized round count stays within a constant band.
+    assert max(normalized) <= 6 * min(normalized)
+    assert max(normalized) < 8.0
+
+
+def test_theorem1_single_run_cost(benchmark):
+    graph = gnp_graph(48, 0.12, seed=1)
+    result = benchmark(lambda: approx_mvc_square(graph, 0.5, seed=1))
+    assert_vertex_cover(square(graph), result.cover)

@@ -1,0 +1,78 @@
+"""E2 — Theorem 7: weighted (1+eps)-approximate G^2-MWVC.
+
+Table: weight ratio vs exact optimum across weight regimes (uniform,
+random, geometric classes), plus round scaling in n.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+from repro.core.mwvc_congest import approx_mwvc_square
+from repro.exact.vertex_cover import minimum_weighted_vertex_cover
+from repro.graphs.generators import gnp_graph, random_weights
+from repro.graphs.power import square
+from repro.graphs.validation import assert_vertex_cover, cover_weight
+
+EPS = 0.5
+
+
+def _weight_regimes():
+    uniform = gnp_graph(16, 0.25, seed=1)
+    random_w = random_weights(gnp_graph(16, 0.25, seed=2), 1, 50, seed=2)
+    geometric = gnp_graph(16, 0.25, seed=3)
+    for v in geometric.nodes:
+        geometric.nodes[v]["weight"] = 2 ** (v % 7)
+    return [("uniform", uniform), ("random", random_w), ("doubling", geometric)]
+
+
+def _run():
+    rows = []
+    for name, graph in _weight_regimes():
+        weights = {v: graph.nodes[v].get("weight", 1) for v in graph.nodes}
+        sq = square(graph)
+        opt = sum(
+            weights[v] for v in minimum_weighted_vertex_cover(sq, weights)
+        )
+        result = approx_mwvc_square(graph, EPS, seed=5)
+        assert_vertex_cover(sq, result.cover)
+        got = cover_weight(graph, result.cover)
+        ratio = got / opt
+        assert ratio <= 1 + EPS + 1e-9
+        rows.append((name, got, opt, ratio, result.stats.rounds))
+    return rows
+
+
+def _round_scaling():
+    rounds = []
+    for n in (20, 40, 80):
+        graph = random_weights(gnp_graph(n, 4.0 / n, seed=n), 1, 30, seed=n)
+        result = approx_mwvc_square(graph, EPS, seed=n)
+        rounds.append((n, result.stats.rounds))
+    return rounds
+
+
+def test_theorem7_ratio_table(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        "E2 / Theorem 7: weighted cover vs optimum (eps=0.5)",
+        ["regime", "weight", "optimum", "ratio", "rounds"],
+        rows,
+    )
+
+
+def test_theorem7_round_scaling(benchmark):
+    rounds = benchmark.pedantic(_round_scaling, rounds=1, iterations=1)
+    print_table(
+        "E2 / Theorem 7: rounds vs n (O(n log n / eps))",
+        ["n", "rounds"],
+        rounds,
+    )
+    by_n = dict(rounds)
+    # Quadrupling n should grow rounds at most ~quasi-linearly.
+    assert by_n[80] <= 8 * by_n[20]

@@ -1,0 +1,56 @@
+"""E3 — Corollary 10: deterministic clique algorithm, O(eps n + 1/eps).
+
+Table: rounds across the eps grid including the eps = 1/sqrt(n) point,
+where the bound becomes O(sqrt(n)).
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+from repro.core.mvc_clique import approx_mvc_square_clique_deterministic
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import gnp_graph
+from repro.graphs.power import square
+from repro.graphs.validation import assert_vertex_cover
+
+
+def _run():
+    n = 64
+    graph = gnp_graph(n, 5.0 / n, seed=4)
+    sq = square(graph)
+    opt = len(minimum_vertex_cover(sq))
+    rows = []
+    for eps in (1.0, 0.5, 0.25, 1.0 / math.sqrt(n)):
+        result = approx_mvc_square_clique_deterministic(graph, eps, seed=4)
+        assert_vertex_cover(sq, result.cover)
+        ratio = len(result.cover) / opt
+        assert ratio <= 1 + eps + 1e-9
+        rows.append(
+            (
+                f"{eps:.3f}",
+                result.stats.rounds,
+                result.detail["upcast_rounds"],
+                ratio,
+            )
+        )
+    return rows
+
+
+def test_corollary10_rounds(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        "E3 / Corollary 10: deterministic clique (n=64)",
+        ["eps", "rounds", "upcast rounds", "ratio"],
+        rows,
+    )
+    # Lemma 9's point: the upcast is O(1/eps), far below the O(n/eps)
+    # pipeline of the CONGEST version.
+    upcasts = [row[2] for row in rows]
+    assert max(upcasts) <= 20

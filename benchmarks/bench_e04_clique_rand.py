@@ -1,0 +1,60 @@
+"""E4 — Theorem 11: randomized clique algorithm, O(log n + 1/eps) rounds.
+
+Table: rounds vs doubling n.  The growth must be additive-logarithmic,
+not linear — the separation from Theorem 1's CONGEST bound.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+from repro.core.mvc_clique import approx_mvc_square_clique_randomized
+from repro.core.mvc_congest import approx_mvc_square
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import gnp_graph
+from repro.graphs.power import square
+from repro.graphs.validation import assert_vertex_cover
+
+EPS = 0.5
+
+
+def _run():
+    rows = []
+    clique_rounds = {}
+    congest_rounds = {}
+    for n in (24, 48, 96):
+        graph = gnp_graph(n, 5.0 / n, seed=n + 1)
+        sq = square(graph)
+        opt = len(minimum_vertex_cover(sq))
+        rand = approx_mvc_square_clique_randomized(graph, EPS, seed=n)
+        assert_vertex_cover(sq, rand.cover)
+        ratio = len(rand.cover) / opt
+        assert ratio <= 1 + EPS + 1e-9
+        congest = approx_mvc_square(graph, EPS, seed=n)
+        clique_rounds[n] = rand.stats.rounds
+        congest_rounds[n] = congest.stats.rounds
+        rows.append(
+            (n, rand.stats.rounds, congest.stats.rounds, ratio)
+        )
+    return rows, clique_rounds, congest_rounds
+
+
+def test_theorem11_log_growth(benchmark):
+    rows, clique_rounds, congest_rounds = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    print_table(
+        "E4 / Theorem 11: randomized clique vs CONGEST rounds (eps=0.5)",
+        ["n", "clique rounds", "congest rounds", "ratio"],
+        rows,
+    )
+    # Shape: clique round counts grow (at most) additively with doubling,
+    # CONGEST grows multiplicatively; at n=96 the clique must win big.
+    assert clique_rounds[96] <= clique_rounds[24] + 12 * math.log2(96 / 24) + 8
+    assert clique_rounds[96] * 2 < congest_rounds[96]

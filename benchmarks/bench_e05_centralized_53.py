@@ -1,0 +1,59 @@
+"""E5 — Theorem 12: the centralized 5/3-approximation for G^2-MVC.
+
+Table: measured ratio vs exact optimum across the workload suite — every
+row must stay at or below 5/3 (and, in aggregate, strictly below the UGC
+barrier of 2 that holds for general graphs).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+from repro.core.mvc_centralized import five_thirds_mvc_square
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import workload_suite
+from repro.graphs.power import square
+from repro.graphs.validation import assert_vertex_cover
+
+FIVE_THIRDS = 5.0 / 3.0
+
+
+def _run():
+    rows = []
+    for name, graph in workload_suite("small", seed=1):
+        sq = square(graph)
+        cover, detail = five_thirds_mvc_square(graph)
+        assert_vertex_cover(sq, cover)
+        opt = len(minimum_vertex_cover(sq))
+        ratio = len(cover) / opt if opt else 1.0
+        assert ratio <= FIVE_THIRDS + 1e-9, name
+        rows.append(
+            (name, len(cover), opt, ratio, detail["s1"], detail["s2"],
+             detail["s3"])
+        )
+    return rows
+
+
+def test_theorem12_ratio_table(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        "E5 / Theorem 12: centralized 5/3 vs exact",
+        ["workload", "cover", "opt", "ratio", "s1", "s2", "s3"],
+        rows,
+    )
+    ratios = [row[3] for row in rows]
+    assert max(ratios) <= FIVE_THIRDS + 1e-9
+    assert max(ratios) < 2.0
+
+
+def test_theorem12_single_run_cost(benchmark):
+    from repro.graphs.generators import gnp_graph
+
+    graph = gnp_graph(40, 0.12, seed=9)
+    cover, _ = benchmark(lambda: five_thirds_mvc_square(graph))
+    assert_vertex_cover(square(graph), cover)

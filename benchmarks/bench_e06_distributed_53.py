@@ -1,0 +1,56 @@
+"""E6 — Corollary 17: distributed 5/3 via Phase I (eps=1/2) + Algorithm 2.
+
+Table: ratio of the composed pipeline vs exact, across workloads; the
+factor is max(3/2, 5/3) = 5/3 and rounds stay O(n).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+from repro.core.mvc_centralized import cover_square_instance
+from repro.core.mvc_congest import approx_mvc_square
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import gnp_graph, random_geometric
+from repro.graphs.power import square
+from repro.graphs.validation import assert_vertex_cover
+
+FIVE_THIRDS = 5.0 / 3.0
+
+
+def _local_53(residual, red):
+    cover, _ = cover_square_instance(residual)
+    return cover
+
+
+def _run():
+    rows = []
+    for name, graph in (
+        ("gnp24", gnp_graph(24, 0.2, seed=2)),
+        ("gnp48", gnp_graph(48, 0.1, seed=3)),
+        ("geom32", random_geometric(32, seed=4)),
+    ):
+        sq = square(graph)
+        result = approx_mvc_square(graph, 0.5, local_solver=_local_53, seed=2)
+        assert_vertex_cover(sq, result.cover)
+        opt = len(minimum_vertex_cover(sq))
+        ratio = len(result.cover) / opt
+        assert ratio <= FIVE_THIRDS + 1e-9, name
+        rows.append(
+            (name, len(result.cover), opt, ratio, result.stats.rounds)
+        )
+    return rows
+
+
+def test_corollary17_table(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        "E6 / Corollary 17: distributed 5/3 (Phase I eps=1/2 + Alg 2)",
+        ["workload", "cover", "opt", "ratio", "rounds"],
+        rows,
+    )

@@ -1,0 +1,86 @@
+"""E8 — Theorem 20 / Figures 1-2: the weighted G^2-MVC lower-bound family.
+
+Tables: (i) Lemma 21's weight equality MWVC(H^2) = MVC(G) across inputs;
+(ii) the Theorem 19 arithmetic — vertex counts stay near-linear in k while
+cut sizes stay logarithmic, so the implied round bound grows ~k^2/log^2 k.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+from repro.exact.vertex_cover import (
+    minimum_vertex_cover,
+    minimum_weighted_vertex_cover,
+)
+from repro.graphs.power import square
+from repro.lowerbounds.ckp17 import build_ckp17_mvc, ckp17_threshold
+from repro.lowerbounds.disjointness import (
+    disj,
+    disjointness_cc_bound,
+    random_instance,
+)
+from repro.lowerbounds.framework import implied_round_lower_bound
+from repro.lowerbounds.mwvc_square import build_mwvc_square_family
+
+
+def _lemma21_rows():
+    rows = []
+    for seed in range(8):
+        x, y = random_instance(2, seed=seed)
+        base = build_ckp17_mvc(x, y, 2)
+        optimum_g = len(minimum_vertex_cover(base.graph))
+        fam = build_mwvc_square_family(x, y, 2)
+        weights = fam.extra["weights"]
+        cover = minimum_weighted_vertex_cover(square(fam.graph), weights)
+        weight_h2 = sum(weights[v] for v in cover)
+        assert weight_h2 == optimum_g
+        tight = weight_h2 == ckp17_threshold(2)
+        assert tight == (not disj(x, y))
+        rows.append((seed, str(not disj(x, y)), optimum_g, weight_h2))
+    return rows
+
+
+def _scaling_rows():
+    rows = []
+    for k in (2, 4, 8, 16):
+        x, y = random_instance(k, seed=k)
+        fam = build_mwvc_square_family(x, y, k)
+        n = fam.graph.number_of_nodes()
+        bound = implied_round_lower_bound(
+            disjointness_cc_bound(k), fam.cut_size, n
+        )
+        rows.append((k, n, fam.cut_size, ckp17_threshold(k), bound))
+    return rows
+
+
+def test_lemma21_equality(benchmark):
+    rows = benchmark.pedantic(_lemma21_rows, rounds=1, iterations=1)
+    print_table(
+        "E8 / Lemma 21: MWVC(H^2) = MVC(G), k=2",
+        ["seed", "intersecting", "MVC(G)", "MWVC(H^2)"],
+        rows,
+    )
+
+
+def test_theorem20_scaling(benchmark):
+    rows = benchmark.pedantic(_scaling_rows, rounds=1, iterations=1)
+    print_table(
+        "E8 / Theorem 20: family scaling (implied rounds ~ k^2 / log^2 k)",
+        ["k", "n(H)", "cut", "W", "implied rounds"],
+        rows,
+    )
+    bounds = [row[4] for row in rows]
+    assert bounds == sorted(bounds)
+    # Near-quadratic growth: doubling k more than doubles the bound
+    # (the ratio approaches 4 as the log factors stabilize).
+    assert bounds[-1] > 2 * bounds[-2]
+    # n stays O(k log k).
+    ns = {row[0]: row[1] for row in rows}
+    assert ns[16] <= 16 * math.log2(16) * 8

@@ -1,0 +1,61 @@
+"""E9 — Theorem 22 / Figure 3: the unweighted G^2-MVC lower-bound family.
+
+Tables: Lemma 24's shift MVC(H^2) = MVC(G) + 2 * #gadgets across inputs
+(both intersecting and disjoint), and the predicate gap at the threshold.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.power import square
+from repro.lowerbounds.ckp17 import build_ckp17_mvc
+from repro.lowerbounds.disjointness import disj, random_instance
+from repro.lowerbounds.mvc_square import (
+    build_mvc_square_family,
+    mvc_square_threshold,
+)
+
+
+def _run():
+    rows = []
+    W = mvc_square_threshold(2)
+    for seed in range(6):
+        x, y = random_instance(2, seed=seed)
+        base = build_ckp17_mvc(x, y, 2)
+        optimum_g = len(minimum_vertex_cover(base.graph))
+        fam = build_mvc_square_family(x, y, 2)
+        optimum_h2 = len(minimum_vertex_cover(square(fam.graph)))
+        expected = optimum_g + 2 * fam.extra["gadget_count"]
+        assert optimum_h2 == expected
+        assert (optimum_h2 == W) == (not disj(x, y))
+        rows.append(
+            (
+                seed,
+                str(not disj(x, y)),
+                optimum_g,
+                optimum_h2,
+                W,
+                fam.cut_size,
+            )
+        )
+    return rows
+
+
+def test_lemma24_shift(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        "E9 / Lemma 24: MVC(H^2) = MVC(G) + 2#gadgets, k=2 (W = threshold)",
+        ["seed", "intersecting", "MVC(G)", "MVC(H^2)", "W", "cut"],
+        rows,
+    )
+    tight = [r for r in rows if r[1] == "True"]
+    loose = [r for r in rows if r[1] == "False"]
+    assert all(r[3] == r[4] for r in tight)
+    assert all(r[3] > r[4] for r in loose)

@@ -1,0 +1,54 @@
+"""E10 — Lemma 25: small cuts cannot bound (1+eps)-approximate G^2-MVC.
+
+Table: the two-party protocol's cover quality and communication on
+lower-bound family members — O(log n) bits always, ratio 1 + o(1) as the
+family grows (cut stays polylog while the optimum is at least n/2).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.power import square
+from repro.graphs.validation import assert_vertex_cover
+from repro.lowerbounds.ckp17 import build_ckp17_mvc
+from repro.lowerbounds.disjointness import random_instance
+from repro.lowerbounds.limitation import two_party_cover_protocol
+
+
+def _run():
+    rows = []
+    for k in (2, 4):
+        x, y = random_instance(k, seed=k)
+        fam = build_ckp17_mvc(x, y, k)
+        outcome = two_party_cover_protocol(fam)
+        sq = square(fam.graph)
+        assert_vertex_cover(sq, outcome.cover)
+        opt = len(minimum_vertex_cover(sq))
+        ratio = len(outcome.cover) / opt
+        n = fam.graph.number_of_nodes()
+        rows.append(
+            (k, n, len(outcome.cut_vertices), outcome.bits_exchanged,
+             len(outcome.cover), opt, ratio)
+        )
+    return rows
+
+
+def test_lemma25_protocol(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        "E10 / Lemma 25: two-party (1+o(1))-approx with O(log n) bits",
+        ["k", "n", "cut vertices", "bits", "cover", "opt", "ratio"],
+        rows,
+    )
+    ratios = {row[0]: row[6] for row in rows}
+    # The ratio shrinks towards 1 as the family grows.
+    assert ratios[4] <= ratios[2] + 1e-9
+    assert all(row[6] <= 1.35 for row in rows)
+    assert all(row[3] <= 2 * 8 for row in rows)  # 2 ceil(log2 n) bits

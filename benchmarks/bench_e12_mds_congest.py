@@ -1,0 +1,86 @@
+"""E12 — Theorem 28 + Lemma 29: distributed G^2-MDS and the estimator.
+
+Tables: (i) estimator concentration (max relative error shrinks with the
+sample count — Lemma 30's Cramer bound); (ii) the MDS pipeline's
+approximation ratio and polylog phase counts across growing networks.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+from repro.congest.network import CongestNetwork
+from repro.core.estimation import estimate_neighborhood_sizes
+from repro.core.mds_congest import approx_mds_square
+from repro.exact.dominating_set import minimum_dominating_set
+from repro.graphs.generators import gnp_graph
+from repro.graphs.power import square, two_hop_neighbors
+from repro.graphs.validation import assert_dominating_set
+
+
+def _estimator_rows():
+    graph = gnp_graph(24, 0.2, seed=2)
+    truth = {
+        v: len((two_hop_neighbors(graph, v) | {v}))
+        for v in graph.nodes
+    }
+    rows = []
+    for samples in (8, 32, 128, 512):
+        net = CongestNetwork(graph, seed=3)
+        estimates, result = estimate_neighborhood_sizes(
+            net, members=list(graph.nodes), samples=samples
+        )
+        errors = [
+            abs(estimates[v] - truth[v]) / truth[v] for v in graph.nodes
+        ]
+        rows.append(
+            (samples, result.stats.rounds, max(errors),
+             sum(errors) / len(errors))
+        )
+    return rows
+
+
+def _mds_rows():
+    rows = []
+    for n in (16, 32):
+        graph = gnp_graph(n, 4.0 / n, seed=n)
+        sq = square(graph)
+        result = approx_mds_square(graph, seed=n)
+        assert_dominating_set(sq, result.cover)
+        opt = len(minimum_dominating_set(sq))
+        delta = max(dict(graph.degree).values())
+        rows.append(
+            (n, len(result.cover), opt, len(result.cover) / opt,
+             result.detail["phases"], result.stats.rounds, delta)
+        )
+    return rows
+
+
+def test_lemma29_concentration(benchmark):
+    rows = benchmark.pedantic(_estimator_rows, rounds=1, iterations=1)
+    print_table(
+        "E12a / Lemma 29: 2-hop size estimator concentration",
+        ["samples", "rounds", "max rel err", "mean rel err"],
+        rows,
+    )
+    max_errors = [row[2] for row in rows]
+    assert max_errors[-1] < max_errors[0]
+    assert max_errors[-1] < 0.25
+
+
+def test_theorem28_mds(benchmark):
+    rows = benchmark.pedantic(_mds_rows, rounds=1, iterations=1)
+    print_table(
+        "E12b / Theorem 28: G^2-MDS quality and phases",
+        ["n", "|DS|", "opt", "ratio", "phases", "rounds", "Delta"],
+        rows,
+    )
+    for n, _, _, ratio, phases, _, delta in rows:
+        assert ratio <= max(4.0, 8.0 * math.log(delta * delta + 2))
+        assert phases <= 10 * (math.log2(n) ** 2) + 20

@@ -1,0 +1,68 @@
+"""E13 — Theorem 31 / Figures 4-5: the exact G^2-MDS lower-bound family.
+
+Tables: the [BCD+19] predicate (MDS <= 4 log k + 2 iff intersecting) on
+exhaustively-verified k=2 members, and Lemma 34's shift
+MDS(H^2) = MDS(G) + #gadgets on the squared family.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+from repro.exact.dominating_set import minimum_dominating_set
+from repro.graphs.power import square
+from repro.lowerbounds.bcd19 import bcd19_threshold, build_bcd19_mds
+from repro.lowerbounds.disjointness import disj, random_instance
+from repro.lowerbounds.mds_square_exact import build_mds_square_family
+
+
+def _bcd19_rows():
+    rows = []
+    W = bcd19_threshold(2)
+    for seed in range(6):
+        x, y = random_instance(2, seed=seed)
+        fam = build_bcd19_mds(x, y, 2)
+        mds = len(minimum_dominating_set(fam.graph))
+        assert (mds <= W) == (not disj(x, y))
+        rows.append((seed, str(not disj(x, y)), mds, W, fam.cut_size))
+    return rows
+
+
+def _lemma34_rows():
+    rows = []
+    for seed in (0, 1, 4):
+        x, y = random_instance(2, seed=seed)
+        base = build_bcd19_mds(x, y, 2)
+        optimum_g = len(minimum_dominating_set(base.graph))
+        fam = build_mds_square_family(x, y, 2)
+        optimum_h2 = len(minimum_dominating_set(square(fam.graph)))
+        expected = optimum_g + fam.extra["gadget_count"]
+        assert optimum_h2 == expected
+        rows.append(
+            (seed, optimum_g, fam.extra["gadget_count"], optimum_h2,
+             fam.graph.number_of_nodes())
+        )
+    return rows
+
+
+def test_bcd19_predicate(benchmark):
+    rows = benchmark.pedantic(_bcd19_rows, rounds=1, iterations=1)
+    print_table(
+        "E13a / [BCD+19] predicate: MDS(G) <= W iff intersecting (k=2)",
+        ["seed", "intersecting", "MDS(G)", "W", "cut"],
+        rows,
+    )
+
+
+def test_lemma34_shift(benchmark):
+    rows = benchmark.pedantic(_lemma34_rows, rounds=1, iterations=1)
+    print_table(
+        "E13b / Lemma 34: MDS(H^2) = MDS(G) + #gadgets (k=2)",
+        ["seed", "MDS(G)", "gadgets", "MDS(H^2)", "n(H)"],
+        rows,
+    )

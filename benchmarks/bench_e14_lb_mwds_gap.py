@@ -1,0 +1,79 @@
+"""E14 — Theorem 35 / Figures 6-7: the weighted 7/6 gap family.
+
+Table: the exact minimum weight is 6 on every intersecting input and at
+least 7 on every disjoint one — the constant-factor gap that makes any
+better-than-7/6 approximation as hard as set disjointness.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+from repro.exact.dominating_set import minimum_weighted_dominating_set
+from repro.graphs.power import square
+from repro.lowerbounds.disjointness import disj, positions
+from repro.lowerbounds.mds_square_gap import (
+    GapConstructionParams,
+    build_gap_family,
+)
+
+PARAMS = GapConstructionParams(
+    num_sets=3, universe_size=4, r_cov=2, element_weight=10, seed=0
+)
+
+
+def _instances():
+    rng = random.Random(4)
+    pool = positions(3)
+    cases = [
+        (frozenset({(1, 1)}), frozenset({(1, 1)})),
+        (frozenset({(1, 1)}), frozenset({(1, 2)})),
+        (frozenset(), frozenset()),
+    ]
+    for _ in range(7):
+        xs, ys = set(), set()
+        for p in pool:
+            roll = rng.random()
+            if roll < 0.4:
+                xs.add(p)
+            elif roll < 0.8:
+                ys.add(p)
+        cases.append((frozenset(xs), frozenset(ys)))
+    for _ in range(4):
+        xs = frozenset(p for p in pool if rng.random() < 0.5)
+        ys = frozenset(p for p in pool if rng.random() < 0.5)
+        cases.append((xs, ys))
+    return cases
+
+
+def _run():
+    rows = []
+    for idx, (x, y) in enumerate(_instances()):
+        fam = build_gap_family(x, y, PARAMS, weighted=True)
+        weights = fam.extra["weights"]
+        ds = minimum_weighted_dominating_set(square(fam.graph), weights)
+        weight = sum(weights[v] for v in ds)
+        intersecting = not disj(x, y)
+        assert (weight == 6) if intersecting else (weight >= 7)
+        rows.append((idx, str(intersecting), weight, fam.cut_size))
+    return rows
+
+
+def test_theorem35_gap(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        "E14 / Theorem 35: weighted gap (6 iff intersecting, else >= 7)",
+        ["instance", "intersecting", "MWDS(H^2)", "cut"],
+        rows,
+    )
+    weights_hit = [r[2] for r in rows if r[1] == "True"]
+    weights_miss = [r[2] for r in rows if r[1] == "False"]
+    assert weights_hit and weights_miss
+    assert set(weights_hit) == {6}
+    assert min(weights_miss) >= 7

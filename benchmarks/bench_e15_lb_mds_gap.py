@@ -1,0 +1,76 @@
+"""E15 — Theorem 41: the unweighted 9/8 gap family.
+
+Table: exact MDS of H^2 is 8 on intersecting inputs, at least 9 on
+disjoint ones — no weights needed (the q-vertex variant of Section 7.3).
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+from repro.exact.dominating_set import minimum_dominating_set
+from repro.graphs.power import square
+from repro.lowerbounds.disjointness import disj, positions
+from repro.lowerbounds.mds_square_gap import (
+    GapConstructionParams,
+    build_gap_family,
+)
+
+PARAMS = GapConstructionParams(
+    num_sets=3, universe_size=4, r_cov=2, element_weight=10, seed=0
+)
+
+
+def _instances():
+    rng = random.Random(5)
+    pool = positions(3)
+    cases = [
+        (frozenset({(2, 2)}), frozenset({(2, 2)})),
+        (frozenset({(1, 1)}), frozenset({(2, 2)})),
+        (frozenset(), frozenset()),
+    ]
+    for _ in range(6):
+        xs, ys = set(), set()
+        for p in pool:
+            roll = rng.random()
+            if roll < 0.4:
+                xs.add(p)
+            elif roll < 0.8:
+                ys.add(p)
+        cases.append((frozenset(xs), frozenset(ys)))
+    for _ in range(4):
+        xs = frozenset(p for p in pool if rng.random() < 0.5)
+        ys = frozenset(p for p in pool if rng.random() < 0.5)
+        cases.append((xs, ys))
+    return cases
+
+
+def _run():
+    rows = []
+    for idx, (x, y) in enumerate(_instances()):
+        fam = build_gap_family(x, y, PARAMS, weighted=False)
+        size = len(minimum_dominating_set(square(fam.graph)))
+        intersecting = not disj(x, y)
+        assert (size == 8) if intersecting else (size >= 9)
+        rows.append((idx, str(intersecting), size, fam.cut_size))
+    return rows
+
+
+def test_theorem41_gap(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        "E15 / Theorem 41: unweighted gap (8 iff intersecting, else >= 9)",
+        ["instance", "intersecting", "MDS(H^2)", "cut"],
+        rows,
+    )
+    sizes_hit = [r[2] for r in rows if r[1] == "True"]
+    sizes_miss = [r[2] for r in rows if r[1] == "False"]
+    assert sizes_hit and sizes_miss
+    assert set(sizes_hit) == {8}
+    assert min(sizes_miss) >= 9

@@ -1,0 +1,81 @@
+"""E16 — Theorem 44: G^2-MVC is NP-complete and admits no FPTAS.
+
+Tables: the reduction identity VC(H^2) = VC(G) + 2m across workloads, and
+the FPTAS-refutation run — a (1+eps) scheme at eps = 1/(3m) recovers the
+exact optimum of G.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+import networkx as nx
+
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import gnp_graph
+from repro.graphs.power import square
+from repro.graphs.validation import assert_vertex_cover
+from repro.hardness.reductions import (
+    fptas_refuting_epsilon,
+    recover_exact_mvc_via_square,
+    verify_mvc_reduction,
+)
+
+
+def _shift_rows():
+    shapes = [
+        ("gnp9a", gnp_graph(9, 0.3, seed=1)),
+        ("gnp9b", gnp_graph(9, 0.45, seed=2)),
+        ("cycle8", nx.cycle_graph(8)),
+        ("star7", nx.star_graph(6)),
+        ("complete5", nx.complete_graph(5)),
+    ]
+    rows = []
+    for name, graph in shapes:
+        got, expected, ok = verify_mvc_reduction(graph)
+        assert ok
+        rows.append(
+            (name, len(minimum_vertex_cover(graph)),
+             graph.number_of_edges(), got)
+        )
+    return rows
+
+
+def _recovery_rows():
+    rows = []
+    for seed in range(3):
+        graph = gnp_graph(8, 0.35, seed=seed)
+        opt = len(minimum_vertex_cover(graph))
+        eps = fptas_refuting_epsilon(graph)
+
+        def scheme(h, eps_):
+            return minimum_vertex_cover(square(h))
+
+        recovered = recover_exact_mvc_via_square(graph, scheme)
+        assert_vertex_cover(graph, recovered)
+        assert len(recovered) == opt
+        rows.append((seed, f"{eps:.4f}", len(recovered), opt))
+    return rows
+
+
+def test_theorem44_shift(benchmark):
+    rows = benchmark.pedantic(_shift_rows, rounds=1, iterations=1)
+    print_table(
+        "E16a / Theorem 44: VC(H^2) = VC(G) + 2m",
+        ["workload", "VC(G)", "m", "VC(H^2)"],
+        rows,
+    )
+
+
+def test_theorem44_no_fptas(benchmark):
+    rows = benchmark.pedantic(_recovery_rows, rounds=1, iterations=1)
+    print_table(
+        "E16b / Theorem 44: eps = 1/(3m) scheme recovers exact MVC(G)",
+        ["seed", "eps", "recovered", "opt"],
+        rows,
+    )

@@ -1,0 +1,53 @@
+"""E17 — Theorem 45: the approximation-preserving MDS reduction.
+
+Table: MDS(H^2) = MDS(G) + 1 across workloads — the merged dangling-path
+gadget contributes exactly one dominating-set vertex, so any
+approximation factor for G^2-MDS transfers to MDS (hence Feige's
+(1 - eps) ln n hardness carries over).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+import networkx as nx
+
+from repro.exact.dominating_set import minimum_dominating_set
+from repro.graphs.generators import gnp_graph
+from repro.hardness.reductions import mds_square_reduction, verify_mds_reduction
+
+
+def _run():
+    shapes = [
+        ("gnp9a", gnp_graph(9, 0.3, seed=11)),
+        ("gnp9b", gnp_graph(9, 0.5, seed=12)),
+        ("path9", nx.path_graph(9)),
+        ("cycle8", nx.cycle_graph(8)),
+        ("star7", nx.star_graph(6)),
+    ]
+    rows = []
+    for name, graph in shapes:
+        got, expected, ok = verify_mds_reduction(graph)
+        assert ok
+        reduced, _ = mds_square_reduction(graph)
+        rows.append(
+            (name, len(minimum_dominating_set(graph)), got,
+             reduced.number_of_nodes())
+        )
+    return rows
+
+
+def test_theorem45_shift(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        "E17 / Theorem 45: MDS(H^2) = MDS(G) + 1",
+        ["workload", "MDS(G)", "MDS(H^2)", "n(H)"],
+        rows,
+    )
+    for _, mds_g, mds_h2, _ in rows:
+        assert mds_h2 == mds_g + 1

@@ -1,0 +1,71 @@
+"""E20 (ablation) — Phase I's candidacy threshold.
+
+DESIGN.md calls out the 1/eps threshold as the central design knob of
+Algorithm 1: large thresholds peel fewer but better-amortized cliques
+(good factor, heavy residual = more pipeline rounds), small thresholds
+cover aggressively (cheap residual, worse factor bound).  Table: measured
+trade-off across thresholds on one workload.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+from repro.core.mvc_congest import approx_mvc_square
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import gnp_graph
+from repro.graphs.power import square
+from repro.graphs.validation import assert_vertex_cover
+
+
+def _run():
+    graph = gnp_graph(36, 0.2, seed=6)
+    sq = square(graph)
+    opt = len(minimum_vertex_cover(sq))
+    rows = []
+    for eps in (1.0, 0.5, 0.34, 0.25, 0.2):
+        result = approx_mvc_square(graph, eps, seed=6)
+        assert_vertex_cover(sq, result.cover)
+        ratio = len(result.cover) / opt
+        assert ratio <= 1 + eps + 1e-9
+        # The invariant the threshold actually buys: after Phase I every
+        # vertex keeps at most l neighbors in U (Lemma 2's token bound).
+        residual = result.detail["residual_vertices"]
+        l = result.detail["threshold"]
+        max_u_degree = max(
+            sum(1 for w in graph.neighbors(v) if w in residual)
+            for v in graph.nodes
+        )
+        assert max_u_degree <= l
+        rows.append(
+            (
+                l,
+                eps,
+                ratio,
+                1 + eps,
+                len(result.detail["phase_one_cover"]),
+                len(residual),
+                max_u_degree,
+                result.stats.rounds,
+            )
+        )
+    return rows
+
+
+def test_threshold_ablation(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        "E20 / ablation: Phase I threshold l = ceil(1/eps)",
+        ["l", "eps", "ratio", "bound", "|S|", "|U|", "max U-deg", "rounds"],
+        rows,
+    )
+    # Every row respects its own factor bound, and the per-node residual
+    # degree never exceeds the threshold (the Phase II token budget).
+    for l, eps, ratio, bound, _, _, max_u_degree, _ in rows:
+        assert ratio <= bound + 1e-9
+        assert max_u_degree <= l

@@ -1,0 +1,67 @@
+"""E23 — the introduction's congestion claim, executable.
+
+Learning 2-hop neighborhoods (the prerequisite for naively 'just running
+a G algorithm on G^2') costs a multiplicative Theta(Delta) overhead under
+the O(log n)-bit constraint.  Table: paced rounds track the maximum
+degree while the burst variant's per-edge load equals Delta words — and
+strict mode simply refuses it.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+import networkx as nx
+import pytest
+
+from repro.congest.errors import CongestionError
+from repro.core.naive import learn_two_hop_neighborhoods
+from repro.graphs.generators import gnp_graph
+
+
+def _run():
+    rows = []
+    shapes = [
+        ("cycle32", nx.cycle_graph(32)),
+        ("gnp32", gnp_graph(32, 0.2, seed=1)),
+        ("star32", nx.star_graph(31)),
+        ("star64", nx.star_graph(63)),
+    ]
+    for name, graph in shapes:
+        delta = max(dict(graph.degree).values())
+        paced = learn_two_hop_neighborhoods(graph, burst=False)
+        burst = learn_two_hop_neighborhoods(graph, burst=True, strict=False)
+        try:
+            learn_two_hop_neighborhoods(graph, burst=True, strict=True)
+            strict_outcome = "accepted"
+        except CongestionError:
+            strict_outcome = "rejected"
+        rows.append(
+            (
+                name,
+                delta,
+                paced.stats.rounds,
+                burst.stats.max_words_per_edge_round,
+                strict_outcome,
+            )
+        )
+    return rows
+
+
+def test_naive_congestion(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        "E23 / intro: learning N^2(v) under O(log n) bits",
+        ["workload", "Delta", "paced rounds", "burst words/edge", "strict"],
+        rows,
+    )
+    for _, delta, rounds, burst_words, strict in rows:
+        assert delta <= rounds <= delta + 6
+        assert burst_words >= delta
+        if delta > 16:
+            assert strict == "rejected"

@@ -1,0 +1,72 @@
+"""E24 (ablation) — what the Lemma 29 estimator costs the MDS pipeline.
+
+Table: the distributed pipeline (estimated counts, metered congestion)
+against the sequential reference (identical logic, exact counts), greedy
+set cover and the exact optimum.  The guarantee survives estimation; only
+rounds and mild noise differ — which is Theorem 28's whole point.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import print_table
+
+from repro.core.mds_congest import approx_mds_square
+from repro.core.mds_reference import reference_mds_square
+from repro.exact.dominating_set import minimum_dominating_set
+from repro.exact.greedy import greedy_dominating_set
+from repro.graphs.generators import gnp_graph, random_geometric
+from repro.graphs.power import square
+from repro.graphs.validation import assert_dominating_set
+
+
+def _run():
+    rows = []
+    for name, graph in (
+        ("gnp20", gnp_graph(20, 0.2, seed=4)),
+        ("geom24", random_geometric(24, seed=4)),
+    ):
+        sq = square(graph)
+        opt = len(minimum_dominating_set(sq))
+        distributed = approx_mds_square(graph, seed=4)
+        assert_dominating_set(sq, distributed.cover)
+        reference, ref_detail = reference_mds_square(graph, seed=4)
+        assert_dominating_set(sq, reference)
+        greedy = greedy_dominating_set(sq)
+        rows.append(
+            (
+                name,
+                opt,
+                len(distributed.cover),
+                len(reference),
+                len(greedy),
+                distributed.stats.rounds,
+                len(ref_detail["phases"]),
+            )
+        )
+    return rows
+
+
+def test_estimation_vs_exact_counts(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        "E24 / ablation: estimated vs exact densities in G^2-MDS",
+        [
+            "workload",
+            "opt",
+            "distributed",
+            "reference",
+            "greedy",
+            "dist rounds",
+            "ref phases",
+        ],
+        rows,
+    )
+    for _, opt, dist, ref, greedy, _, _ in rows:
+        # Estimation noise may cost a little, never the guarantee.
+        assert dist <= max(6 * opt, ref + 3)
+        assert ref <= 6 * opt

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""CONGEST vs CONGESTED CLIQUE: the paper's round-complexity separation.
+
+Theorem 1 gives O(n/eps) rounds in CONGEST; Corollary 10 and Theorem 11
+give O(eps n + 1/eps) and O(log n + 1/eps) in the CONGESTED CLIQUE.  This
+example runs all three on growing networks and prints the scaling table —
+watch the CONGEST column grow linearly while the randomized clique column
+crawls.
+
+Run:  python examples/clique_vs_congest.py
+"""
+
+from __future__ import annotations
+
+from repro.core.mvc_clique import (
+    approx_mvc_square_clique_deterministic,
+    approx_mvc_square_clique_randomized,
+)
+from repro.core.mvc_congest import approx_mvc_square
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import gnp_graph
+from repro.graphs.power import square
+
+
+def main() -> None:
+    epsilon = 0.5
+    print(f"eps = {epsilon}; all covers verified (1+eps)-approximate")
+    header = (
+        f"{'n':>5} {'CONGEST':>9} {'clique det':>11} "
+        f"{'clique rand':>12} {'opt':>5} {'ratio':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for n in (16, 24, 32, 48, 64):
+        graph = gnp_graph(n, min(0.3, 6.0 / n), seed=n)
+        congest = approx_mvc_square(graph, epsilon, seed=n)
+        det = approx_mvc_square_clique_deterministic(graph, epsilon, seed=n)
+        rand = approx_mvc_square_clique_randomized(graph, epsilon, seed=n)
+        opt = len(minimum_vertex_cover(square(graph)))
+        for result in (congest, det, rand):
+            assert len(result.cover) <= (1 + epsilon) * opt + 1e-9
+        print(
+            f"{n:>5} {congest.stats.rounds:>9} {det.stats.rounds:>11} "
+            f"{rand.stats.rounds:>12} {opt:>5} "
+            f"{len(rand.cover) / opt:>6.3f}"
+        )
+    print()
+    print("CONGEST grows ~linearly (pipelining F to the leader dominates);")
+    print("the randomized clique needs only O(log n + 1/eps) rounds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Beyond the square: vertex cover on higher powers G^r.
+
+Lemma 6 gives a free (1 + 1/floor(r/2))-approximation on any power; the
+clique-peeling idea behind Algorithm 1 generalizes because radius-
+floor(r/2) balls are cliques of G^r.  This example compares the trivial
+cover, the generalized peeling, and the exact optimum across r on one
+network — the gap the algorithmic machinery buys.
+
+Run:  python examples/power_r_cover.py
+"""
+
+from __future__ import annotations
+
+from repro.core.power_peeling import approx_mvc_power
+from repro.core.trivial import trivial_ratio_bound
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import random_geometric
+from repro.graphs.power import graph_power
+from repro.graphs.validation import assert_vertex_cover
+
+
+def main() -> None:
+    graph = random_geometric(26, seed=5)
+    n = graph.number_of_nodes()
+    epsilon = 0.34
+    print(f"network: n={n}, m={graph.number_of_edges()}, eps={epsilon}")
+    header = (
+        f"{'r':>3} {'edges(G^r)':>11} {'opt':>5} {'trivial':>8} "
+        f"{'peeled':>7} {'ratio':>7} {'guarantee':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for r in (2, 3, 4, 5, 6):
+        power = graph_power(graph, r)
+        opt = len(minimum_vertex_cover(power))
+        result = approx_mvc_power(graph, r, epsilon=epsilon)
+        assert_vertex_cover(power, result.cover)
+        ratio = len(result.cover) / opt if opt else 1.0
+        print(
+            f"{r:>3} {power.number_of_edges():>11} {opt:>5} "
+            f"{n / opt if opt else 1.0:>8.3f} {len(result.cover):>7} "
+            f"{ratio:>7.3f} {1 + 1 / max(1, round(1 / epsilon)):>10.3f}"
+        )
+    print()
+    print("the trivial column is Lemma 6's all-vertices ratio; peeling")
+    print("turns it into (1+eps) at any power, paying only local solves.")
+
+
+if __name__ == "__main__":
+    main()

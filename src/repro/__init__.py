@@ -1,0 +1,42 @@
+"""repro — reproduction of "Distributed Approximation on Power Graphs".
+
+Bar-Yehuda, Censor-Hillel, Maus, Pai, Pemmaraju (PODC 2020,
+arXiv:2006.03746).  The package provides:
+
+* :mod:`repro.graphs` — graph powers, workload generators, validators;
+* :mod:`repro.congest` — a CONGEST / CONGESTED CLIQUE simulator with
+  O(log n)-bit bandwidth enforcement and resource metering;
+* :mod:`repro.exact` — exact MVC/MWVC/MDS/MWDS solvers and baselines;
+* :mod:`repro.core` — every algorithm in the paper (Theorems 1, 7, 11, 12,
+  26, 28; Corollaries 10, 17; Lemmas 6, 29);
+* :mod:`repro.lowerbounds` — every lower-bound graph family (Figures 1-7;
+  Theorems 20, 22, 31, 35, 41; Lemma 25) with exact-solver verification;
+* :mod:`repro.hardness` — the centralized reductions (Theorems 44-45).
+"""
+
+from repro.graphs import square, graph_power
+from repro.congest import CongestNetwork, CongestedCliqueNetwork
+from repro.core import (
+    approx_mvc_square,
+    approx_mwvc_square,
+    approx_mvc_square_clique_deterministic,
+    approx_mvc_square_clique_randomized,
+    five_thirds_mvc_square,
+    approx_mds_square,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "square",
+    "graph_power",
+    "CongestNetwork",
+    "CongestedCliqueNetwork",
+    "approx_mvc_square",
+    "approx_mwvc_square",
+    "approx_mvc_square_clique_deterministic",
+    "approx_mvc_square_clique_randomized",
+    "five_thirds_mvc_square",
+    "approx_mds_square",
+    "__version__",
+]

@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``mvc``
+    Run a G^2-MVC algorithm (CONGEST, deterministic clique, randomized
+    clique, or centralized 5/3) on a generated workload and report the
+    cover size, round usage and the exact-optimum ratio.
+``mds``
+    Run the Theorem 28 G^2-MDS algorithm likewise.
+``gallery``
+    Build and verify one lower-bound family member, printing the
+    Theorem 19 quantities.
+``verify``
+    Re-run the exact-solver verification of a family's predicate over
+    sampled inputs (the repository's "trust but check" button).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import networkx as nx
+
+from repro.core.mds_congest import approx_mds_square
+from repro.core.mvc_centralized import five_thirds_mvc_square
+from repro.core.mvc_clique import (
+    approx_mvc_square_clique_deterministic,
+    approx_mvc_square_clique_randomized,
+)
+from repro.core.mvc_congest import approx_mvc_square
+from repro.exact.dominating_set import (
+    minimum_dominating_set,
+    minimum_weighted_dominating_set,
+)
+from repro.exact.vertex_cover import (
+    minimum_vertex_cover,
+    minimum_weighted_vertex_cover,
+)
+from repro.graphs.generators import (
+    gnp_graph,
+    grid_graph,
+    random_geometric,
+    random_tree,
+)
+from repro.graphs.power import square
+from repro.graphs.validation import (
+    assert_dominating_set,
+    assert_vertex_cover,
+)
+from repro.lowerbounds.bcd19 import bcd19_threshold, build_bcd19_mds
+from repro.lowerbounds.ckp17 import build_ckp17_mvc, ckp17_threshold
+from repro.lowerbounds.disjointness import disj, random_instance
+from repro.lowerbounds.framework import implied_round_lower_bound
+from repro.lowerbounds.mds_square_gap import (
+    GapConstructionParams,
+    build_gap_family,
+)
+
+
+def _build_graph(kind: str, n: int, seed: int) -> nx.Graph:
+    if kind == "gnp":
+        return gnp_graph(n, min(0.3, 5.0 / max(n, 2)), seed=seed)
+    if kind == "geometric":
+        return random_geometric(n, seed=seed)
+    if kind == "tree":
+        return random_tree(n, seed=seed)
+    if kind == "grid":
+        side = max(2, int(n ** 0.5))
+        return grid_graph(side, side)
+    raise ValueError(f"unknown graph kind {kind!r}")
+
+
+def _cmd_mvc(args: argparse.Namespace) -> int:
+    graph = _build_graph(args.graph, args.n, args.seed)
+    sq = square(graph)
+    if args.model == "congest":
+        result = approx_mvc_square(graph, args.eps, seed=args.seed)
+        cover, rounds = result.cover, result.stats.rounds
+    elif args.model == "clique-det":
+        result = approx_mvc_square_clique_deterministic(
+            graph, args.eps, seed=args.seed
+        )
+        cover, rounds = result.cover, result.stats.rounds
+    elif args.model == "clique-rand":
+        result = approx_mvc_square_clique_randomized(
+            graph, args.eps, seed=args.seed
+        )
+        cover, rounds = result.cover, result.stats.rounds
+    else:  # centralized
+        cover, _ = five_thirds_mvc_square(graph)
+        rounds = 0
+    assert_vertex_cover(sq, cover)
+    print(f"graph: {args.graph} n={graph.number_of_nodes()} "
+          f"m={graph.number_of_edges()} (square m={sq.number_of_edges()})")
+    print(f"model: {args.model}  cover={len(cover)}  rounds={rounds}")
+    if args.exact:
+        opt = len(minimum_vertex_cover(sq))
+        print(f"exact optimum: {opt}  ratio: {len(cover) / opt:.3f}")
+    return 0
+
+
+def _cmd_mds(args: argparse.Namespace) -> int:
+    graph = _build_graph(args.graph, args.n, args.seed)
+    sq = square(graph)
+    result = approx_mds_square(graph, seed=args.seed)
+    assert_dominating_set(sq, result.cover)
+    print(f"graph: {args.graph} n={graph.number_of_nodes()} "
+          f"m={graph.number_of_edges()}")
+    print(f"dominating set: {len(result.cover)}  rounds="
+          f"{result.stats.rounds}  phases={result.detail['phases']}")
+    if args.exact:
+        opt = len(minimum_dominating_set(sq))
+        print(f"exact optimum: {opt}  ratio: {len(result.cover) / opt:.3f}")
+    return 0
+
+
+def _cmd_gallery(args: argparse.Namespace) -> int:
+    x, y = random_instance(args.k, seed=args.seed)
+    if args.family == "ckp17":
+        fam = build_ckp17_mvc(x, y, args.k)
+    elif args.family == "bcd19":
+        fam = build_bcd19_mds(x, y, args.k)
+    else:
+        params = GapConstructionParams()
+        small_x = frozenset(p for p in x if p[0] <= 3 and p[1] <= 3)
+        small_y = frozenset(p for p in y if p[0] <= 3 and p[1] <= 3)
+        fam = build_gap_family(
+            small_x, small_y, params, weighted=args.family == "gap-weighted"
+        )
+    n = fam.graph.number_of_nodes()
+    bound = implied_round_lower_bound(fam.k * fam.k, fam.cut_size, n)
+    print(fam.description)
+    print(f"n={n}  m={fam.graph.number_of_edges()}  cut={fam.cut_size}")
+    print(f"threshold={fam.threshold}  intersecting={not disj(fam.x, fam.y)}")
+    print(f"implied round lower bound at this scale: {bound:.2f}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    failures = 0
+    for seed in range(args.samples):
+        x, y = random_instance(args.k, seed=seed)
+        if args.family == "ckp17":
+            fam = build_ckp17_mvc(x, y, args.k)
+            value = len(minimum_vertex_cover(fam.graph))
+            tight = value == ckp17_threshold(args.k)
+        elif args.family == "bcd19":
+            fam = build_bcd19_mds(x, y, args.k)
+            value = len(minimum_dominating_set(fam.graph))
+            tight = value <= bcd19_threshold(args.k)
+        else:
+            params = GapConstructionParams()
+            small_x = frozenset(p for p in x if p[0] <= 3 and p[1] <= 3)
+            small_y = frozenset(p for p in y if p[0] <= 3 and p[1] <= 3)
+            weighted = args.family == "gap-weighted"
+            fam = build_gap_family(small_x, small_y, params, weighted=weighted)
+            sq = square(fam.graph)
+            if weighted:
+                weights = fam.extra["weights"]
+                ds = minimum_weighted_dominating_set(sq, weights)
+                value = sum(weights[v] for v in ds)
+            else:
+                value = len(minimum_dominating_set(sq))
+            tight = value <= fam.threshold
+        expected = not disj(fam.x, fam.y)
+        status = "ok" if tight == expected else "FAIL"
+        if tight != expected:
+            failures += 1
+        print(f"seed={seed}: optimum={value} threshold={fam.threshold} "
+              f"intersecting={expected} -> {status}")
+    print(f"{args.samples - failures}/{args.samples} instances verified")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed Approximation on Power Graphs (PODC 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mvc = sub.add_parser("mvc", help="approximate MVC on G^2")
+    mvc.add_argument("--n", type=int, default=32)
+    mvc.add_argument("--eps", type=float, default=0.5)
+    mvc.add_argument("--seed", type=int, default=0)
+    mvc.add_argument(
+        "--graph", choices=("gnp", "geometric", "tree", "grid"), default="gnp"
+    )
+    mvc.add_argument(
+        "--model",
+        choices=("congest", "clique-det", "clique-rand", "centralized"),
+        default="congest",
+    )
+    mvc.add_argument("--exact", action="store_true")
+    mvc.set_defaults(func=_cmd_mvc)
+
+    mds = sub.add_parser("mds", help="approximate MDS on G^2")
+    mds.add_argument("--n", type=int, default=24)
+    mds.add_argument("--seed", type=int, default=0)
+    mds.add_argument(
+        "--graph", choices=("gnp", "geometric", "tree", "grid"), default="gnp"
+    )
+    mds.add_argument("--exact", action="store_true")
+    mds.set_defaults(func=_cmd_mds)
+
+    families = ("ckp17", "bcd19", "gap-weighted", "gap-unweighted")
+    gallery = sub.add_parser("gallery", help="build a lower-bound family")
+    gallery.add_argument("--family", choices=families, default="ckp17")
+    gallery.add_argument("--k", type=int, default=4)
+    gallery.add_argument("--seed", type=int, default=0)
+    gallery.set_defaults(func=_cmd_gallery)
+
+    verify = sub.add_parser("verify", help="verify a family's predicate")
+    verify.add_argument("--family", choices=families, default="ckp17")
+    verify.add_argument("--k", type=int, default=2)
+    verify.add_argument("--samples", type=int, default=5)
+    verify.set_defaults(func=_cmd_verify)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

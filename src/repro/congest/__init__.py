@@ -1,0 +1,50 @@
+"""Synchronous CONGEST / CONGESTED CLIQUE simulator.
+
+The simulator executes per-node algorithms in synchronous rounds and enforces
+the defining constraint of the CONGEST model: every message must fit in
+O(log n) bits.  Message sizes are measured in *words* of ``ceil(log2(n+1))``
+bits; a message may carry at most ``word_limit`` words (default 8) and
+violations raise :class:`~repro.congest.errors.CongestionError` in strict
+mode.  This makes the congestion phenomenon the paper studies *observable*:
+the same algorithm that runs on ``G`` fails loudly when it naively tries to
+ship 2-hop neighborhoods over single edges.
+"""
+
+from repro.congest.errors import CongestionError, RoundLimitError
+from repro.congest.message import payload_words, word_bits_for
+from repro.congest.algorithm import NodeAlgorithm, NodeView
+from repro.congest.network import (
+    CongestNetwork,
+    RunResult,
+    RunStats,
+    run_stages,
+)
+from repro.congest.clique import CongestedCliqueNetwork
+from repro.congest.primitives import (
+    BfsTreeAlgorithm,
+    ConvergecastAlgorithm,
+    BroadcastAlgorithm,
+    build_bfs_tree,
+    convergecast_tokens,
+    broadcast_tokens,
+)
+
+__all__ = [
+    "CongestionError",
+    "RoundLimitError",
+    "payload_words",
+    "word_bits_for",
+    "NodeAlgorithm",
+    "NodeView",
+    "CongestNetwork",
+    "CongestedCliqueNetwork",
+    "RunResult",
+    "RunStats",
+    "run_stages",
+    "BfsTreeAlgorithm",
+    "ConvergecastAlgorithm",
+    "BroadcastAlgorithm",
+    "build_bfs_tree",
+    "convergecast_tokens",
+    "broadcast_tokens",
+]

@@ -1,0 +1,99 @@
+"""Per-node algorithm interface for the CONGEST simulator."""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from typing import Any
+
+Outbox = Mapping[int, Any] | None
+Inbox = Mapping[int, Any]
+
+
+class NodeView:
+    """Everything a node is allowed to see.
+
+    Attributes
+    ----------
+    id:
+        The node's integer identifier, unique in ``0..n-1``.  The simulator
+        assigns identifiers; the original graph label is ``label``.
+    label:
+        The label of this node in the input :class:`networkx.Graph`.
+    neighbors:
+        Identifiers of the node's neighbors *in the input graph* (even in the
+        CONGESTED CLIQUE, where messages may go anywhere).
+    n:
+        Number of nodes in the network (common knowledge, as is standard).
+    input:
+        Per-node problem input (e.g. its weight), supplied to ``run``.
+    state:
+        A dict persisting across pipeline stages on the same network; stages
+        of one paper algorithm hand intermediate results to the next stage
+        through it.
+    rng:
+        Node-private deterministic randomness.
+    """
+
+    __slots__ = ("id", "label", "neighbors", "n", "input", "state", "rng")
+
+    def __init__(
+        self,
+        node_id: int,
+        label: Any,
+        neighbors: tuple[int, ...],
+        n: int,
+        node_input: Any,
+        state: dict,
+        rng: random.Random,
+    ) -> None:
+        self.id = node_id
+        self.label = label
+        self.neighbors = neighbors
+        self.n = n
+        self.input = node_input
+        self.state = state
+        self.rng = rng
+
+    @property
+    def degree(self) -> int:
+        """Degree in the input graph."""
+        return len(self.neighbors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeView(id={self.id}, label={self.label!r})"
+
+
+class NodeAlgorithm:
+    """Base class for node-local algorithms.
+
+    Subclasses override :meth:`on_start` (run before the first round) and
+    :meth:`on_round` (run every round with the messages delivered this
+    round).  Both return an outbox: a mapping ``{neighbor_id: payload}``, or
+    ``None`` for silence.  Call :meth:`finish` to record the node's output
+    and stop participating; a finished node neither sends nor is invoked
+    again, so relays must stay alive as long as traffic may pass through
+    them.
+    """
+
+    def __init__(self, node: NodeView) -> None:
+        self.node = node
+        self.done = False
+        self.output: Any = None
+
+    def on_start(self) -> Outbox:
+        """Produce messages for round 1.  Default: silence."""
+        return None
+
+    def on_round(self, inbox: Inbox) -> Outbox:
+        """Handle this round's inbox, produce next round's messages."""
+        raise NotImplementedError
+
+    def finish(self, output: Any = None) -> None:
+        """Record ``output`` and halt this node."""
+        self.done = True
+        self.output = output
+
+    def broadcast(self, payload: Any) -> dict[int, Any]:
+        """Outbox sending ``payload`` to every neighbor."""
+        return {neighbor: payload for neighbor in self.node.neighbors}

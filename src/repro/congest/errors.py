@@ -1,0 +1,15 @@
+"""Simulator failure modes."""
+
+from __future__ import annotations
+
+
+class CongestionError(RuntimeError):
+    """A message exceeded the per-edge O(log n)-bit bandwidth budget."""
+
+
+class RoundLimitError(RuntimeError):
+    """The algorithm did not terminate within the allotted rounds."""
+
+
+class ProtocolError(RuntimeError):
+    """A node violated the simulator contract (bad target, self-message...)."""

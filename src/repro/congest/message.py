@@ -1,0 +1,47 @@
+"""Message size accounting.
+
+CONGEST messages carry O(log n) bits.  We measure payloads in *words* of
+``ceil(log2(n+1))`` bits:
+
+* ``int`` — ``ceil(bit_length / word_bits)`` words, at least one.  Node
+  identifiers and counts up to ``poly(n)`` therefore cost O(1) words.
+* ``float`` — two words.  Lemma 29 argues O(log n) bits of precision
+  suffice for the exponential-variable estimates, so a float models a
+  fixed-precision real of Theta(log n) bits.
+* ``bool`` / ``None`` — one word (a tag still occupies the channel).
+* ``str`` — ``ceil(8 * len / word_bits)`` words (used only in tests).
+* ``tuple`` / ``list`` — the sum of the component costs.
+
+Anything else is rejected: algorithms must express messages in these terms
+so that the accounting is honest.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def word_bits_for(n: int) -> int:
+    """Bits per word in an n-node network: ``ceil(log2(n+1))``, at least 1."""
+    if n < 1:
+        raise ValueError("network must have at least one node")
+    return max(1, math.ceil(math.log2(n + 1)))
+
+
+def payload_words(payload: Any, word_bits: int) -> int:
+    """Return the size of ``payload`` in words of ``word_bits`` bits."""
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, math.ceil(max(payload.bit_length(), 1) / word_bits))
+    if isinstance(payload, float):
+        return 2
+    if isinstance(payload, str):
+        return max(1, math.ceil(8 * len(payload) / word_bits))
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_words(item, word_bits) for item in payload)
+    raise TypeError(
+        f"unsupported payload type {type(payload).__name__}; messages must be "
+        "built from ints, floats, bools, strings, None and tuples"
+    )

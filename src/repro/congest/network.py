@@ -1,0 +1,325 @@
+"""The synchronous CONGEST runtime.
+
+``CongestNetwork.run`` executes one node algorithm per vertex of the input
+graph in synchronous rounds, delivering messages between rounds, metering
+round/message/bit usage and enforcing the per-edge bandwidth bound.
+
+Paper algorithms are sequences of phases whose round complexities add; the
+:func:`run_stages` driver runs stage factories back-to-back on the same
+network, with per-node ``state`` dictionaries carrying intermediate results
+from one stage to the next.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+import networkx as nx
+
+from repro.congest.algorithm import NodeAlgorithm, NodeView
+from repro.congest.errors import CongestionError, ProtocolError, RoundLimitError
+from repro.congest.message import payload_words, word_bits_for
+
+AlgorithmFactory = Callable[[NodeView], NodeAlgorithm]
+
+#: Default cap on simulated rounds, as a multiple of n^2 (quadratic round
+#: counts are the worst case the paper discusses).
+DEFAULT_ROUND_FACTOR = 20
+
+
+@dataclass
+class RunStats:
+    """Resource usage of one (or several, summed) simulator runs."""
+
+    rounds: int = 0
+    messages: int = 0
+    total_words: int = 0
+    max_words_per_edge_round: int = 0
+    cut_words: int = 0
+    word_bits: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        return self.total_words * self.word_bits
+
+    @property
+    def cut_bits(self) -> int:
+        return self.cut_words * self.word_bits
+
+    def __add__(self, other: "RunStats") -> "RunStats":
+        return RunStats(
+            rounds=self.rounds + other.rounds,
+            messages=self.messages + other.messages,
+            total_words=self.total_words + other.total_words,
+            max_words_per_edge_round=max(
+                self.max_words_per_edge_round, other.max_words_per_edge_round
+            ),
+            cut_words=self.cut_words + other.cut_words,
+            word_bits=max(self.word_bits, other.word_bits),
+        )
+
+
+@dataclass
+class RoundRecord:
+    """Per-round traffic, recorded when ``run(..., trace=True)``."""
+
+    round_index: int
+    messages: int
+    words: int
+    active_nodes: int
+
+
+@dataclass
+class RunResult:
+    """Outputs and resource usage of a completed run."""
+
+    outputs: dict[Any, Any]
+    stats: RunStats
+    by_id: dict[int, Any] = field(default_factory=dict)
+    trace: list[RoundRecord] | None = None
+
+
+class CongestNetwork:
+    """A CONGEST communication network over a :class:`networkx.Graph`.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph ``G``.  Nodes may have arbitrary hashable
+        labels; the network assigns integer identifiers ``0..n-1`` in a
+        deterministic (sorted-by-repr) order.
+    word_limit:
+        Maximum words per message (a word is ``ceil(log2(n+1))`` bits);
+        models the O(log n)-bit bound.
+    strict:
+        If True, oversized messages raise :class:`CongestionError`;
+        otherwise they are metered but allowed (useful for measuring *how
+        much* congestion a naive algorithm would create).
+    seed:
+        Seed for per-node private randomness.
+    cut:
+        Optional iterable of label pairs; traffic crossing these edges is
+        metered separately (the Alice-Bob cut of Theorem 19).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        word_limit: int = 8,
+        strict: bool = True,
+        seed: int = 0,
+        cut: Iterable[tuple[Any, Any]] | None = None,
+    ) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("network must have at least one node")
+        self.graph = graph
+        self.n = graph.number_of_nodes()
+        self.word_bits = word_bits_for(self.n)
+        self.word_limit = word_limit
+        self.strict = strict
+        self.seed = seed
+
+        ordering = sorted(graph.nodes, key=repr)
+        self._label_of = dict(enumerate(ordering))
+        self._id_of = {label: i for i, label in self._label_of.items()}
+        self._adjacency: dict[int, tuple[int, ...]] = {
+            self._id_of[label]: tuple(
+                sorted(self._id_of[nbr] for nbr in graph.neighbors(label))
+            )
+            for label in ordering
+        }
+        self._cut: set[frozenset[int]] = set()
+        if cut is not None:
+            for u, v in cut:
+                self._cut.add(frozenset((self._id_of[u], self._id_of[v])))
+        self.node_state: dict[int, dict] = {i: {} for i in range(self.n)}
+
+    # -- identifier mapping ------------------------------------------------
+
+    def id_of(self, label: Any) -> int:
+        """Integer identifier of a graph label."""
+        return self._id_of[label]
+
+    def label_of(self, node_id: int) -> Any:
+        """Graph label of an integer identifier."""
+        return self._label_of[node_id]
+
+    def ids(self) -> range:
+        return range(self.n)
+
+    def neighbors_of(self, node_id: int) -> tuple[int, ...]:
+        return self._adjacency[node_id]
+
+    def reset_state(self) -> None:
+        """Clear the per-node stage-to-stage state dictionaries."""
+        self.node_state = {i: {} for i in range(self.n)}
+
+    # -- runtime -----------------------------------------------------------
+
+    def _can_send(self, sender: int, target: int) -> bool:
+        """Whether ``sender`` may address ``target`` this round."""
+        return target in self._adjacency[sender]
+
+    def _make_views(self, inputs: Mapping[Any, Any] | None) -> list[NodeView]:
+        views = []
+        for node_id in range(self.n):
+            label = self._label_of[node_id]
+            node_input = None if inputs is None else inputs.get(label)
+            rng = random.Random(f"{self.seed}/{node_id}")
+            views.append(
+                NodeView(
+                    node_id=node_id,
+                    label=label,
+                    neighbors=self._adjacency[node_id],
+                    n=self.n,
+                    node_input=node_input,
+                    state=self.node_state[node_id],
+                    rng=rng,
+                )
+            )
+        return views
+
+    def _meter(
+        self, sender: int, target: int, payload: Any, stats: RunStats
+    ) -> None:
+        words = payload_words(payload, self.word_bits)
+        if words > self.word_limit and self.strict:
+            raise CongestionError(
+                f"message {self.label_of(sender)!r} -> {self.label_of(target)!r} "
+                f"is {words} words but the per-edge budget is "
+                f"{self.word_limit} words of {self.word_bits} bits"
+            )
+        stats.messages += 1
+        stats.total_words += words
+        stats.max_words_per_edge_round = max(
+            stats.max_words_per_edge_round, words
+        )
+        if self._cut and frozenset((sender, target)) in self._cut:
+            stats.cut_words += words
+
+    def run(
+        self,
+        factory: AlgorithmFactory,
+        inputs: Mapping[Any, Any] | None = None,
+        max_rounds: int | None = None,
+        trace: bool = False,
+    ) -> RunResult:
+        """Run one algorithm instance per node until all finish.
+
+        Returns a :class:`RunResult` whose ``outputs`` are keyed by original
+        graph labels.  Raises :class:`RoundLimitError` if the algorithm does
+        not terminate within ``max_rounds`` (default ``20 * n**2 + 1000``).
+        With ``trace=True`` the result carries a per-round traffic timeline
+        (round 0 records the ``on_start`` sends).
+        """
+        if max_rounds is None:
+            max_rounds = DEFAULT_ROUND_FACTOR * self.n * self.n + 1000
+        views = self._make_views(inputs)
+        algorithms = [factory(view) for view in views]
+        stats = RunStats(word_bits=self.word_bits)
+        timeline: list[RoundRecord] | None = [] if trace else None
+
+        pending: dict[int, dict[int, Any]] = {i: {} for i in range(self.n)}
+        for alg in algorithms:
+            self._collect(alg, alg.on_start(), pending, stats)
+        if timeline is not None:
+            timeline.append(
+                RoundRecord(
+                    round_index=0,
+                    messages=stats.messages,
+                    words=stats.total_words,
+                    active_nodes=sum(1 for a in algorithms if not a.done),
+                )
+            )
+
+        while not all(alg.done for alg in algorithms):
+            if stats.rounds >= max_rounds:
+                raise RoundLimitError(
+                    f"no termination within {max_rounds} rounds "
+                    f"({sum(1 for a in algorithms if not a.done)} nodes alive)"
+                )
+            stats.rounds += 1
+            before_messages = stats.messages
+            before_words = stats.total_words
+            inboxes, pending = pending, {i: {} for i in range(self.n)}
+            for alg in algorithms:
+                if alg.done:
+                    continue
+                outbox = alg.on_round(inboxes[alg.node.id])
+                # A node may send a final outbox in the round it finishes.
+                self._collect(alg, outbox, pending, stats)
+            if timeline is not None:
+                timeline.append(
+                    RoundRecord(
+                        round_index=stats.rounds,
+                        messages=stats.messages - before_messages,
+                        words=stats.total_words - before_words,
+                        active_nodes=sum(1 for a in algorithms if not a.done),
+                    )
+                )
+
+        outputs = {
+            self._label_of[alg.node.id]: alg.output for alg in algorithms
+        }
+        by_id = {alg.node.id: alg.output for alg in algorithms}
+        return RunResult(
+            outputs=outputs, stats=stats, by_id=by_id, trace=timeline
+        )
+
+    def _collect(
+        self,
+        alg: NodeAlgorithm,
+        outbox: Mapping[int, Any] | None,
+        pending: dict[int, dict[int, Any]],
+        stats: RunStats,
+    ) -> None:
+        if not outbox:
+            return
+        sender = alg.node.id
+        for target, payload in outbox.items():
+            if target == sender:
+                raise ProtocolError(f"node {sender} addressed itself")
+            if not isinstance(target, int) or not 0 <= target < self.n:
+                raise ProtocolError(
+                    f"node {sender} addressed invalid target {target!r}"
+                )
+            if not self._can_send(sender, target):
+                raise ProtocolError(
+                    f"node {self.label_of(sender)!r} is not adjacent to "
+                    f"{self.label_of(target)!r} in the communication graph"
+                )
+            self._meter(sender, target, payload, stats)
+            pending[target][sender] = payload
+
+
+def run_stages(
+    network: CongestNetwork,
+    stages: Iterable[AlgorithmFactory],
+    inputs: Mapping[Any, Any] | None = None,
+    max_rounds: int | None = None,
+    reset_state: bool = True,
+) -> tuple[RunResult, list[RunResult]]:
+    """Run ``stages`` back-to-back, summing round/message statistics.
+
+    Per-node ``state`` dicts persist across stages so a stage can leave
+    results for the next (the paper's phases communicate the same way: the
+    state a node holds when one phase ends is its input to the next).
+
+    Returns ``(combined, per_stage)`` where ``combined`` holds the outputs of
+    the final stage and the summed stats.
+    """
+    if reset_state:
+        network.reset_state()
+    per_stage: list[RunResult] = []
+    total = RunStats(word_bits=network.word_bits)
+    last: RunResult | None = None
+    for factory in stages:
+        last = network.run(factory, inputs=inputs, max_rounds=max_rounds)
+        per_stage.append(last)
+        total = total + last.stats
+    if last is None:
+        raise ValueError("run_stages requires at least one stage")
+    return RunResult(outputs=last.outputs, stats=total, by_id=last.by_id), per_stage

@@ -1,0 +1,59 @@
+"""The paper's algorithms.
+
+Distributed algorithms run on the :mod:`repro.congest` simulator and return
+both a solution and the resources used; centralized algorithms are plain
+functions on graphs.
+"""
+
+from repro.core.results import DistributedCoverResult
+from repro.core.mvc_congest import approx_mvc_square, PhaseOneAlgorithm
+from repro.core.mwvc_congest import approx_mwvc_square
+from repro.core.mvc_clique import (
+    approx_mvc_square_clique_deterministic,
+    approx_mvc_square_clique_randomized,
+)
+from repro.core.mvc_centralized import (
+    five_thirds_mvc_square,
+    cover_square_instance,
+)
+from repro.core.trivial import (
+    trivial_power_cover,
+    trivial_ratio_bound,
+    independent_set_upper_bound,
+)
+from repro.core.estimation import estimate_neighborhood_sizes, EstimationStage
+from repro.core.mds_congest import approx_mds_square
+from repro.core.conditional import (
+    attach_dangling_paths,
+    mvc_via_square_reduction,
+)
+from repro.core.power_peeling import approx_mvc_power, PeelingResult
+from repro.core.naive import (
+    TwoHopLearningAlgorithm,
+    learn_two_hop_neighborhoods,
+)
+from repro.core.mds_reference import reference_mds_square
+
+__all__ = [
+    "DistributedCoverResult",
+    "approx_mvc_square",
+    "PhaseOneAlgorithm",
+    "approx_mwvc_square",
+    "approx_mvc_square_clique_deterministic",
+    "approx_mvc_square_clique_randomized",
+    "five_thirds_mvc_square",
+    "cover_square_instance",
+    "trivial_power_cover",
+    "trivial_ratio_bound",
+    "independent_set_upper_bound",
+    "estimate_neighborhood_sizes",
+    "EstimationStage",
+    "approx_mds_square",
+    "attach_dangling_paths",
+    "mvc_via_square_reduction",
+    "approx_mvc_power",
+    "PeelingResult",
+    "TwoHopLearningAlgorithm",
+    "learn_two_hop_neighborhoods",
+    "reference_mds_square",
+]

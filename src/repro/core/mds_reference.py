@@ -1,0 +1,85 @@
+"""Sequential reference implementation of the Theorem 28 MDS pipeline.
+
+Identical decision logic to :mod:`repro.core.mds_congest` — rounded
+densities, 2-neighborhood local maxima as candidates, random ranks,
+voting, success at an eighth of the coverage — but computed centrally
+with *exact* counts instead of Lemma 29 estimates.  Comparing the two
+isolates exactly what the congestion-driven estimation costs (nothing in
+approximation guarantee, a polylog factor in rounds, some noise in
+practice); this is the idealized [CD18]-on-``G^2`` the paper simulates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Hashable
+from typing import Any
+
+import networkx as nx
+
+from repro.graphs.power import square, two_hop_neighbors
+
+Node = Hashable
+
+
+def reference_mds_square(
+    graph: nx.Graph, seed: int = 0, max_phases: int | None = None
+) -> tuple[set[Node], dict[str, Any]]:
+    """Greedy-by-density MDS of ``G^2`` with exact counts.
+
+    Returns ``(dominating_set, detail)`` with the per-phase history in
+    ``detail['phases']``.
+    """
+    rng = random.Random(seed)
+    n = graph.number_of_nodes()
+    if n == 0:
+        return set(), {"phases": []}
+    if max_phases is None:
+        max_phases = 50 * (int(math.log2(max(n, 2))) + 2)
+
+    closed2 = {
+        v: two_hop_neighbors(graph, v) | {v} for v in graph.nodes
+    }
+    sq = square(graph)
+    uncovered = set(graph.nodes)
+    chosen: set[Node] = set()
+    history: list[dict[str, int]] = []
+
+    while uncovered and len(history) < max_phases:
+        coverage = {v: len(closed2[v] & uncovered) for v in graph.nodes}
+        rho = {
+            v: 1 << max(0, math.ceil(math.log2(c))) if c > 0 else 0
+            for v, c in coverage.items()
+        }
+        candidates = {
+            v
+            for v in graph.nodes
+            if rho[v] > 0
+            and all(rho[v] >= rho[u] for u in closed2[v] if u != v)
+        }
+        ranks = {c: (rng.randrange(n ** 4), repr(c)) for c in candidates}
+        votes: dict[Node, int] = {c: 0 for c in candidates}
+        for u in uncovered:
+            in_range = [c for c in candidates if c == u or sq.has_edge(u, c)]
+            if in_range:
+                votes[min(in_range, key=lambda c: ranks[c])] += 1
+        winners = {
+            c for c in candidates if votes[c] >= coverage[c] / 8.0
+        }
+        newly_covered = set()
+        for w in winners:
+            newly_covered |= closed2[w] & uncovered
+        history.append(
+            {
+                "candidates": len(candidates),
+                "winners": len(winners),
+                "covered": len(newly_covered),
+            }
+        )
+        chosen |= winners
+        uncovered -= newly_covered
+
+    # Mirror the distributed pipeline's always-feasible fallback.
+    chosen |= uncovered
+    return chosen, {"phases": history, "cleanup": len(uncovered)}

@@ -1,0 +1,37 @@
+"""Result records shared by the distributed algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.congest.network import RunStats
+
+
+@dataclass
+class DistributedCoverResult:
+    """Outcome of a distributed cover/dominating-set computation.
+
+    Attributes
+    ----------
+    cover:
+        The solution, as a set of original graph labels.
+    stats:
+        Summed simulator statistics over all stages (rounds, messages,
+        bits, worst per-edge load).
+    detail:
+        Algorithm-specific extras, e.g. Phase I additions, the residual
+        vertex set U, the leader's locally computed optimum, iteration
+        counts.
+    """
+
+    cover: set
+    stats: RunStats
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        return self.stats.rounds
+
+    def __len__(self) -> int:
+        return len(self.cover)

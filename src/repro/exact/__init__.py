@@ -1,0 +1,46 @@
+"""Exact and baseline solvers.
+
+Exact solvers serve two roles: (i) ground truth for approximation-factor
+measurements in tests and benchmarks, and (ii) the unbounded local
+computation CONGEST permits (the leader in Algorithm 1 solves the residual
+graph exactly).  Baselines (greedy, matching) are the classical comparators
+the paper's related-work discussion references.
+"""
+
+from repro.exact.vertex_cover import (
+    minimum_vertex_cover,
+    minimum_weighted_vertex_cover,
+    vertex_cover_brute,
+)
+from repro.exact.dominating_set import (
+    minimum_dominating_set,
+    minimum_weighted_dominating_set,
+    dominating_set_brute,
+)
+from repro.exact.greedy import (
+    greedy_dominating_set,
+    greedy_vertex_cover,
+    matching_vertex_cover,
+)
+from repro.exact.matching import deterministic_maximal_matching
+from repro.exact.independent import (
+    greedy_mis,
+    maximum_independent_set,
+    mis_complement_cover,
+)
+
+__all__ = [
+    "minimum_vertex_cover",
+    "minimum_weighted_vertex_cover",
+    "vertex_cover_brute",
+    "minimum_dominating_set",
+    "minimum_weighted_dominating_set",
+    "dominating_set_brute",
+    "greedy_dominating_set",
+    "greedy_vertex_cover",
+    "matching_vertex_cover",
+    "deterministic_maximal_matching",
+    "greedy_mis",
+    "maximum_independent_set",
+    "mis_complement_cover",
+]

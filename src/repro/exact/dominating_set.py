@@ -1,0 +1,259 @@
+"""Exact minimum (weighted) dominating set via branch and bound.
+
+The engine tracks the set of still-undominated vertices and the set of
+candidate dominators, and applies the classical safe rules exhaustively:
+
+* *forced candidates* — an undominated vertex with a single candidate in its
+  closed neighborhood forces that candidate;
+* *candidate dominance* — a candidate whose potential coverage is a subset
+  of another candidate's, at no smaller weight, can be discarded;
+* *vertex dominance* — an undominated vertex whose dominator set is a
+  superset of another's is automatically satisfied and can be ignored.
+
+These rules are what make the paper's gadget graphs (dangling paths, merged
+path gadgets, set gadgets — Sections 5.3, 7.1-7.3) tractable: pendant paths
+collapse immediately, exactly mirroring the paper's normal-form lemmas
+(Lemmas 23, 32, 33, 42).
+
+Branching picks the undominated vertex with the fewest candidates and tries
+each of them.  The lower bound packs undominated vertices with disjoint
+candidate sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+
+import networkx as nx
+
+from repro.graphs.validation import WEIGHT
+
+Node = Hashable
+
+
+def _closed_neighborhoods(graph: nx.Graph) -> dict[Node, frozenset[Node]]:
+    return {
+        v: frozenset(graph.neighbors(v)) | {v}
+        for v in graph.nodes
+    }
+
+
+def _weights(
+    graph: nx.Graph, weights: Mapping[Node, float] | None
+) -> dict[Node, float]:
+    if weights is not None:
+        table = {v: float(weights[v]) for v in graph.nodes}
+    else:
+        table = {v: float(graph.nodes[v].get(WEIGHT, 1)) for v in graph.nodes}
+    for v, w in table.items():
+        if w < 0:
+            raise ValueError(f"negative weight {w} on vertex {v!r}")
+    return table
+
+
+class _DominationSolver:
+    def __init__(self, graph: nx.Graph, weights: dict[Node, float]):
+        self.closed = _closed_neighborhoods(graph)
+        self.weights = weights
+        self.nodes = list(graph.nodes)
+        greedy = self._greedy(frozenset(self.nodes), set(self.nodes))
+        self.best_cost = sum(weights[v] for v in greedy)
+        self.best_set = greedy
+        self._search(set(self.nodes), set(self.nodes), set(), 0.0)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _greedy(self, undominated: frozenset[Node], candidates: set[Node]) -> set[Node]:
+        """Greedy weighted set cover used as warm start / fallback."""
+        chosen: set[Node] = set()
+        remaining = set(undominated)
+        pool = set(candidates)
+        while remaining:
+            best, best_score = None, -1.0
+            for c in pool:
+                gain = len(self.closed[c] & remaining)
+                if gain == 0:
+                    continue
+                weight = self.weights[c]
+                score = gain / weight if weight > 0 else float("inf")
+                if score > best_score:
+                    best, best_score = c, score
+            if best is None:
+                raise ValueError("graph has an undominatable vertex")
+            chosen.add(best)
+            remaining -= self.closed[best]
+            pool.discard(best)
+        return chosen
+
+    def _lower_bound(self, undominated: set[Node], candidates: set[Node]) -> float:
+        """Pack undominated vertices with disjoint candidate sets."""
+        used: set[Node] = set()
+        bound = 0.0
+        for u in undominated:
+            dominators = self.closed[u] & candidates
+            if dominators & used:
+                continue
+            used |= dominators
+            cheapest = min((self.weights[c] for c in dominators), default=0.0)
+            bound += cheapest
+        return bound
+
+    # -- search ------------------------------------------------------------
+
+    def _search(
+        self,
+        undominated: set[Node],
+        candidates: set[Node],
+        chosen: set[Node],
+        cost: float,
+    ) -> None:
+        undominated = set(undominated)
+        candidates = set(candidates)
+        chosen = set(chosen)
+
+        while True:
+            if cost >= self.best_cost:
+                return
+            if not undominated:
+                if cost < self.best_cost:
+                    self.best_cost = cost
+                    self.best_set = set(chosen)
+                return
+
+            # Free candidates (weight 0) that cover anything are always safe.
+            free = [
+                c
+                for c in candidates
+                if self.weights[c] == 0 and self.closed[c] & undominated
+            ]
+            if free:
+                for c in free:
+                    chosen.add(c)
+                    undominated -= self.closed[c]
+                    candidates.discard(c)
+                continue
+
+            # Forced: undominated vertex with a unique candidate dominator.
+            forced = None
+            for u in undominated:
+                dominators = self.closed[u] & candidates
+                if not dominators:
+                    return  # infeasible branch
+                if len(dominators) == 1:
+                    forced = next(iter(dominators))
+                    break
+            if forced is not None:
+                chosen.add(forced)
+                cost += self.weights[forced]
+                undominated -= self.closed[forced]
+                candidates.discard(forced)
+                continue
+            break
+
+        # Vertex dominance: keep only minimal dominator sets.
+        dominator_sets = {
+            u: frozenset(self.closed[u] & candidates) for u in undominated
+        }
+        essential = set(undominated)
+        ordered = sorted(undominated, key=lambda u: (len(dominator_sets[u]), repr(u)))
+        for i, u in enumerate(ordered):
+            if u not in essential:
+                continue
+            for v in ordered[i + 1:]:
+                if v in essential and dominator_sets[u] <= dominator_sets[v]:
+                    essential.discard(v)
+
+        # Candidate dominance: drop candidates covered by a better candidate.
+        useful = {
+            c: frozenset(self.closed[c] & essential)
+            for c in candidates
+            if self.closed[c] & essential
+        }
+        keep = set(useful)
+        by_cover = sorted(useful, key=lambda c: (-len(useful[c]), self.weights[c]))
+        for i, big in enumerate(by_cover):
+            if big not in keep:
+                continue
+            for small in by_cover[i + 1:]:
+                if (
+                    small in keep
+                    and small != big
+                    and useful[small] <= useful[big]
+                    and self.weights[big] <= self.weights[small]
+                ):
+                    keep.discard(small)
+        candidates = keep
+
+        if cost + self._lower_bound(essential, candidates) >= self.best_cost:
+            return
+
+        # Branch on the hardest-to-dominate vertex.
+        target = min(
+            essential,
+            key=lambda u: (len(self.closed[u] & candidates), repr(u)),
+        )
+        options = sorted(
+            self.closed[target] & candidates,
+            key=lambda c: (-len(self.closed[c] & essential), self.weights[c], repr(c)),
+        )
+        if not options:
+            return
+        for c in options:
+            if cost + self.weights[c] >= self.best_cost:
+                continue
+            self._search(
+                essential - self.closed[c],
+                candidates - {c},
+                chosen | {c},
+                cost + self.weights[c],
+            )
+
+
+def minimum_weighted_dominating_set(
+    graph: nx.Graph, weights: Mapping[Node, float] | None = None
+) -> set[Node]:
+    """Exact minimum-weight dominating set (``weight`` attribute by default)."""
+    if graph.number_of_nodes() == 0:
+        return set()
+    solver = _DominationSolver(graph, _weights(graph, weights))
+    return solver.best_set
+
+
+def minimum_dominating_set(graph: nx.Graph) -> set[Node]:
+    """Exact minimum-cardinality dominating set."""
+    if graph.number_of_nodes() == 0:
+        return set()
+    weights = {v: 1.0 for v in graph.nodes}
+    solver = _DominationSolver(graph, weights)
+    return solver.best_set
+
+
+def dominating_set_brute(
+    graph: nx.Graph, weights: Mapping[Node, float] | None = None
+) -> set[Node]:
+    """Brute-force reference (exponential; <= ~20 vertices)."""
+    from itertools import combinations
+
+    nodes = list(graph.nodes)
+    if len(nodes) > 22:
+        raise ValueError("brute force limited to 22 vertices")
+    table = _weights(graph, weights)
+    closed = _closed_neighborhoods(graph)
+    best: set[Node] | None = None
+    best_cost = float("inf")
+    unweighted = all(table[v] == 1.0 for v in nodes)
+    for size in range(len(nodes) + 1):
+        for combo in combinations(nodes, size):
+            chosen = set(combo)
+            covered = set()
+            for c in chosen:
+                covered |= closed[c]
+            if len(covered) == len(nodes):
+                cost = sum(table[v] for v in chosen)
+                if cost < best_cost:
+                    best_cost = cost
+                    best = chosen
+        if best is not None and unweighted:
+            break
+    assert best is not None
+    return best

@@ -1,0 +1,66 @@
+"""Greedy baselines.
+
+* :func:`greedy_dominating_set` — the classical ln(Delta)-approximation the
+  paper's distributed MDS algorithm (Theorem 28) parallels.
+* :func:`matching_vertex_cover` — Gavril's maximal-matching 2-approximation
+  (part three of centralized Algorithm 2).
+* :func:`greedy_vertex_cover` — max-degree greedy (log-factor baseline).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+
+import networkx as nx
+
+from repro.graphs.validation import WEIGHT
+from repro.exact.matching import deterministic_maximal_matching
+
+Node = Hashable
+
+
+def greedy_dominating_set(
+    graph: nx.Graph, weights: Mapping[Node, float] | None = None
+) -> set[Node]:
+    """Greedy set-cover style dominating set (coverage-per-weight rule)."""
+    if weights is None:
+        weights = {v: float(graph.nodes[v].get(WEIGHT, 1)) for v in graph.nodes}
+    closed = {v: set(graph.neighbors(v)) | {v} for v in graph.nodes}
+    remaining = set(graph.nodes)
+    chosen: set[Node] = set()
+    while remaining:
+        best, best_score = None, -1.0
+        for v in graph.nodes:
+            if v in chosen:
+                continue
+            gain = len(closed[v] & remaining)
+            if gain == 0:
+                continue
+            weight = weights[v]
+            score = gain / weight if weight > 0 else float("inf")
+            if score > best_score:
+                best, best_score = v, score
+        assert best is not None, "every vertex dominates itself"
+        chosen.add(best)
+        remaining -= closed[best]
+    return chosen
+
+
+def matching_vertex_cover(graph: nx.Graph) -> set[Node]:
+    """Both endpoints of a maximal matching: a 2-approximate vertex cover."""
+    cover: set[Node] = set()
+    for edge in deterministic_maximal_matching(graph):
+        cover.update(edge)
+    return cover
+
+
+def greedy_vertex_cover(graph: nx.Graph) -> set[Node]:
+    """Repeatedly take a maximum-degree vertex until all edges are covered."""
+    working = nx.Graph(graph.edges)
+    working.add_nodes_from(graph.nodes)
+    cover: set[Node] = set()
+    while working.number_of_edges() > 0:
+        v = max(working.nodes, key=lambda u: (working.degree(u), repr(u)))
+        cover.add(v)
+        working.remove_node(v)
+    return cover

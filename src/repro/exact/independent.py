@@ -1,0 +1,67 @@
+"""Maximal independent sets and their cover complements.
+
+Theorem 1's trivial branch and Lemma 6 rest on the complement duality: a
+set is a vertex cover iff its complement is independent, and independent
+sets of ``G^r`` in connected graphs are small (at most ``n / (floor(r/2)
++ 1)`` vertices).  These helpers make that duality executable and provide
+MIS baselines for the experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+Node = Hashable
+
+
+def greedy_mis(
+    graph: nx.Graph, order: Sequence[Node] | None = None
+) -> set[Node]:
+    """Greedy maximal independent set, scanning ``order`` (default sorted)."""
+    if order is None:
+        order = sorted(graph.nodes, key=repr)
+    chosen: set[Node] = set()
+    blocked: set[Node] = set()
+    for v in order:
+        if v in blocked or v in chosen:
+            continue
+        chosen.add(v)
+        blocked.update(graph.neighbors(v))
+    return chosen
+
+
+def is_independent_set(graph: nx.Graph, vertices: Iterable[Node]) -> bool:
+    """True iff no edge joins two of ``vertices``."""
+    chosen = set(vertices)
+    return not any(
+        u in chosen and v in chosen for u, v in graph.edges
+    )
+
+
+def is_maximal_independent_set(
+    graph: nx.Graph, vertices: Iterable[Node]
+) -> bool:
+    """True iff independent and no vertex can be added."""
+    chosen = set(vertices)
+    if not is_independent_set(graph, chosen):
+        return False
+    for v in graph.nodes:
+        if v in chosen:
+            continue
+        if not any(u in chosen for u in graph.neighbors(v)):
+            return False
+    return True
+
+
+def mis_complement_cover(graph: nx.Graph, mis: Iterable[Node]) -> set[Node]:
+    """The vertex cover dual to an independent set."""
+    return set(graph.nodes) - set(mis)
+
+
+def maximum_independent_set(graph: nx.Graph) -> set[Node]:
+    """Exact maximum independent set via the MVC solver (complement dual)."""
+    from repro.exact.vertex_cover import minimum_vertex_cover
+
+    return set(graph.nodes) - minimum_vertex_cover(graph)

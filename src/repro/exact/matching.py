@@ -1,0 +1,68 @@
+"""Matchings.
+
+Gavril's classical 2-approximation for vertex cover takes both endpoints of
+a maximal matching; the paper's centralized Algorithm 2 uses exactly this in
+its third part, and greedy matchings provide the branch-and-bound lower
+bounds in :mod:`repro.exact.vertex_cover`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+import networkx as nx
+
+Node = Hashable
+
+
+def deterministic_maximal_matching(graph: nx.Graph) -> set[frozenset[Node]]:
+    """Greedy maximal matching over edges in a deterministic order."""
+    matched: set[Node] = set()
+    matching: set[frozenset[Node]] = set()
+    for u, v in sorted(graph.edges, key=lambda e: (repr(e[0]), repr(e[1]))):
+        if u not in matched and v not in matched:
+            matching.add(frozenset((u, v)))
+            matched.update((u, v))
+    return matching
+
+
+def matching_lower_bound(adj: dict[Node, set[Node]]) -> int:
+    """Size of a greedy maximal matching on an adjacency-dict graph.
+
+    Any vertex cover needs one endpoint per matched edge, so this is a valid
+    lower bound for (unweighted) MVC.
+    """
+    matched: set[Node] = set()
+    count = 0
+    for u, neighbors in adj.items():
+        if u in matched:
+            continue
+        for v in neighbors:
+            if v not in matched and v != u:
+                matched.add(u)
+                matched.add(v)
+                count += 1
+                break
+    return count
+
+
+def weighted_matching_lower_bound(
+    adj: dict[Node, set[Node]], weights: dict[Node, float]
+) -> float:
+    """Greedy disjoint-edge lower bound for weighted MVC.
+
+    For vertex-disjoint edges, any cover pays at least the cheaper endpoint
+    of each edge.
+    """
+    matched: set[Node] = set()
+    total = 0.0
+    for u, neighbors in adj.items():
+        if u in matched:
+            continue
+        for v in neighbors:
+            if v not in matched and v != u:
+                matched.add(u)
+                matched.add(v)
+                total += min(weights[u], weights[v])
+                break
+    return total

@@ -1,0 +1,222 @@
+"""Exact minimum (weighted) vertex cover via branch and bound.
+
+The solver applies standard safe reductions (isolated removal, degree-1
+rule, neighborhood dominance), uses a greedy-matching lower bound, branches
+on a maximum-degree vertex ("take v" vs "take N(v)"), and keeps the best
+solution found.  It is exact for every input; its running time is only
+practical for the instance sizes used in this repository (up to a few
+hundred vertices with structure, ~60 dense).
+
+Both unweighted and weighted variants are exposed; weights default to the
+``weight`` node attribute with missing weights treated as 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+
+import networkx as nx
+
+from repro.graphs.validation import WEIGHT
+from repro.exact.matching import matching_lower_bound, weighted_matching_lower_bound
+
+Node = Hashable
+
+
+def _adjacency(graph: nx.Graph) -> dict[Node, set[Node]]:
+    return {v: set(graph.neighbors(v)) - {v} for v in graph.nodes}
+
+
+def _weights(
+    graph: nx.Graph, weights: Mapping[Node, float] | None
+) -> dict[Node, float]:
+    if weights is not None:
+        table = {v: float(weights[v]) for v in graph.nodes}
+    else:
+        table = {v: float(graph.nodes[v].get(WEIGHT, 1)) for v in graph.nodes}
+    for v, w in table.items():
+        if w < 0:
+            raise ValueError(f"negative weight {w} on vertex {v!r}")
+    return table
+
+
+def _remove_vertex(adj: dict[Node, set[Node]], v: Node) -> None:
+    for u in adj.pop(v):
+        adj[u].discard(v)
+
+
+class _Solver:
+    """Shared branch-and-bound engine for weighted/unweighted MVC."""
+
+    def __init__(self, adj: dict[Node, set[Node]], weights: dict[Node, float]):
+        self.weights = weights
+        self.best_cost = float("inf")
+        self.best_cover: set[Node] = set()
+        # Greedy warm start: take both endpoints of a maximal matching,
+        # then drop redundant vertices (cheapest-first).
+        warm = self._warm_start(adj)
+        self.best_cost = sum(weights[v] for v in warm)
+        self.best_cover = warm
+        self._search(dict_copy(adj), set(), 0.0)
+
+    def _warm_start(self, adj: dict[Node, set[Node]]) -> set[Node]:
+        cover: set[Node] = set()
+        for u, neighbors in adj.items():
+            for v in neighbors:
+                if u not in cover and v not in cover:
+                    cover.add(u)
+                    cover.add(v)
+        # Drop redundant vertices, most expensive first: v is redundant if
+        # every edge at v is also covered by the other endpoint.
+        for v in sorted(cover, key=lambda x: -self.weights[x]):
+            if all(u in cover for u in adj[v]):
+                cover.discard(v)
+        return cover
+
+    def _reduce(
+        self, adj: dict[Node, set[Node]], cover: set[Node], cost: float
+    ) -> float | None:
+        """Apply safe reductions in place; returns updated cost or None to prune."""
+        changed = True
+        while changed:
+            changed = False
+            for v in list(adj):
+                if v not in adj:
+                    continue
+                degree = len(adj[v])
+                if self.weights[v] == 0 and degree > 0:
+                    cover.add(v)
+                    _remove_vertex(adj, v)
+                    changed = True
+                elif degree == 0:
+                    _remove_vertex(adj, v)
+                    changed = True
+                elif degree == 1:
+                    (u,) = adj[v]
+                    if self.weights[u] <= self.weights[v]:
+                        cover.add(u)
+                        cost += self.weights[u]
+                        _remove_vertex(adj, u)
+                        changed = True
+                        if cost >= self.best_cost:
+                            return None
+            if changed:
+                continue
+            # Dominance: for an edge {u, v} with N(u) <= N[v] and
+            # w(v) <= w(u), some optimal cover contains v.
+            for v in list(adj):
+                if v not in adj:
+                    continue
+                closed_v = adj[v] | {v}
+                for u in list(adj[v]):
+                    if adj[u] <= closed_v and self.weights[v] <= self.weights[u]:
+                        cover.add(v)
+                        cost += self.weights[v]
+                        _remove_vertex(adj, v)
+                        changed = True
+                        break
+                if changed:
+                    break
+            if cost >= self.best_cost:
+                return None
+        return cost
+
+    def _lower_bound(self, adj: dict[Node, set[Node]]) -> float:
+        return weighted_matching_lower_bound(adj, self.weights)
+
+    def _search(
+        self, adj: dict[Node, set[Node]], cover: set[Node], cost: float
+    ) -> None:
+        reduced_cost = self._reduce(adj, cover, cost)
+        if reduced_cost is None:
+            return
+        cost = reduced_cost
+        if not any(adj[v] for v in adj):
+            if cost < self.best_cost:
+                self.best_cost = cost
+                self.best_cover = set(cover)
+            return
+        if cost + self._lower_bound(adj) >= self.best_cost:
+            return
+        branch = max(adj, key=lambda v: (len(adj[v]), repr(v)))
+        neighbors = sorted(adj[branch], key=repr)
+
+        # Branch 1: take `branch`.
+        adj1 = dict_copy(adj)
+        cover1 = set(cover)
+        cover1.add(branch)
+        _remove_vertex(adj1, branch)
+        if cost + self.weights[branch] < self.best_cost:
+            self._search(adj1, cover1, cost + self.weights[branch])
+
+        # Branch 2: exclude `branch`, so take all of N(branch).
+        extra = sum(self.weights[u] for u in neighbors)
+        if cost + extra < self.best_cost:
+            adj2 = dict_copy(adj)
+            cover2 = set(cover)
+            for u in neighbors:
+                cover2.add(u)
+                _remove_vertex(adj2, u)
+            _remove_vertex(adj2, branch)
+            self._search(adj2, cover2, cost + extra)
+
+
+class _UnweightedSolver(_Solver):
+    """Unweighted specialization: cardinality matching lower bound."""
+
+    def _lower_bound(self, adj: dict[Node, set[Node]]) -> float:
+        return float(matching_lower_bound(adj))
+
+
+def minimum_weighted_vertex_cover(
+    graph: nx.Graph, weights: Mapping[Node, float] | None = None
+) -> set[Node]:
+    """Exact minimum-weight vertex cover (``weight`` attribute by default)."""
+    if graph.number_of_edges() == 0:
+        return set()
+    solver = _Solver(_adjacency(graph), _weights(graph, weights))
+    return solver.best_cover
+
+
+def minimum_vertex_cover(graph: nx.Graph) -> set[Node]:
+    """Exact minimum-cardinality vertex cover."""
+    if graph.number_of_edges() == 0:
+        return set()
+    weights = {v: 1.0 for v in graph.nodes}
+    solver = _UnweightedSolver(_adjacency(graph), weights)
+    return solver.best_cover
+
+
+def vertex_cover_brute(
+    graph: nx.Graph, weights: Mapping[Node, float] | None = None
+) -> set[Node]:
+    """Brute-force reference (exponential; <= ~20 vertices)."""
+    from itertools import combinations
+
+    nodes = list(graph.nodes)
+    if len(nodes) > 22:
+        raise ValueError("brute force limited to 22 vertices")
+    table = _weights(graph, weights)
+    best: set[Node] | None = None
+    best_cost = float("inf")
+    edges = list(graph.edges)
+    for size in range(len(nodes) + 1):
+        for combo in combinations(nodes, size):
+            chosen = set(combo)
+            if all(u in chosen or v in chosen for u, v in edges):
+                cost = sum(table[v] for v in chosen)
+                if cost < best_cost:
+                    best_cost = cost
+                    best = chosen
+        if best is not None and weights is None and not any(
+            table[v] != 1.0 for v in nodes
+        ):
+            # Unweighted: the first feasible size is optimal.
+            break
+    assert best is not None
+    return best
+
+
+def dict_copy(adj: dict[Node, set[Node]]) -> dict[Node, set[Node]]:
+    """Deep-enough copy of an adjacency dict."""
+    return {v: set(neighbors) for v, neighbors in adj.items()}

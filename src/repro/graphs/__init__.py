@@ -1,0 +1,66 @@
+"""Graph substrate: powers, generators, and solution validation.
+
+The paper's problems are defined on the square ``G**2`` of a communication
+network ``G``; this subpackage provides the graph-theoretic substrate shared
+by every algorithm and lower-bound construction in :mod:`repro`.
+"""
+
+from repro.graphs.power import (
+    graph_power,
+    square,
+    power_edges,
+    is_power_edge,
+    two_hop_neighbors,
+)
+from repro.graphs.validation import (
+    is_vertex_cover,
+    is_dominating_set,
+    uncovered_edges,
+    undominated_vertices,
+    cover_weight,
+    approximation_ratio,
+    assert_vertex_cover,
+    assert_dominating_set,
+)
+from repro.graphs.generators import (
+    gnp_graph,
+    random_geometric,
+    random_tree,
+    grid_graph,
+    caterpillar,
+    cluster_graph,
+    power_law_graph,
+    path_graph,
+    cycle_graph,
+    star_graph,
+    random_weights,
+    workload_suite,
+)
+
+__all__ = [
+    "graph_power",
+    "square",
+    "power_edges",
+    "is_power_edge",
+    "two_hop_neighbors",
+    "is_vertex_cover",
+    "is_dominating_set",
+    "uncovered_edges",
+    "undominated_vertices",
+    "cover_weight",
+    "approximation_ratio",
+    "assert_vertex_cover",
+    "assert_dominating_set",
+    "gnp_graph",
+    "random_geometric",
+    "random_tree",
+    "grid_graph",
+    "caterpillar",
+    "cluster_graph",
+    "power_law_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "random_weights",
+    "workload_suite",
+]

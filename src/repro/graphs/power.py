@@ -1,0 +1,100 @@
+"""Graph powers.
+
+``G^r`` is the graph on ``V(G)`` in which two distinct vertices are adjacent
+iff their distance in ``G`` is at most ``r``.  The paper (Section 2) solves
+vertex cover and dominating set on ``G^2`` while communication happens on
+``G``; these helpers compute the power graph explicitly for validation,
+exact solving and centralized algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Iterator
+
+import networkx as nx
+
+Node = Hashable
+
+
+def _bounded_bfs(graph: nx.Graph, source: Node, radius: int) -> Iterator[Node]:
+    """Yield all vertices at distance 1..radius from ``source`` in ``graph``."""
+    seen = {source}
+    queue = deque([(source, 0)])
+    while queue:
+        vertex, dist = queue.popleft()
+        if dist == radius:
+            continue
+        for neighbor in graph.neighbors(vertex):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                yield neighbor
+                queue.append((neighbor, dist + 1))
+
+
+def two_hop_neighbors(graph: nx.Graph, vertex: Node) -> set[Node]:
+    """Return ``N^2(v)``: all vertices within distance 2 of ``vertex``.
+
+    The returned set excludes ``vertex`` itself, matching the paper's
+    non-inclusive neighborhood notation ``N(v)``.
+    """
+    return set(_bounded_bfs(graph, vertex, 2))
+
+
+def power_edges(graph: nx.Graph, r: int) -> Iterator[tuple[Node, Node]]:
+    """Yield the edge set of ``G^r`` (each edge once)."""
+    if r < 1:
+        raise ValueError(f"power must be >= 1, got {r}")
+    emitted: set[frozenset[Node]] = set()
+    for source in graph.nodes:
+        for target in _bounded_bfs(graph, source, r):
+            key = frozenset((source, target))
+            if key not in emitted:
+                emitted.add(key)
+                yield source, target
+
+
+def graph_power(graph: nx.Graph, r: int) -> nx.Graph:
+    """Return ``G^r`` as a new :class:`networkx.Graph`.
+
+    Node attributes (e.g. vertex weights) are copied so that weighted
+    problems on the power graph see the same weights.
+    """
+    power = nx.Graph()
+    power.add_nodes_from(graph.nodes(data=True))
+    power.add_edges_from(power_edges(graph, r))
+    return power
+
+
+def square(graph: nx.Graph) -> nx.Graph:
+    """Return ``G^2``, the central object of the paper."""
+    return graph_power(graph, 2)
+
+
+def is_power_edge(graph: nx.Graph, u: Node, v: Node, r: int = 2) -> bool:
+    """Return True iff ``{u, v}`` is an edge of ``G^r`` (``u != v``)."""
+    if u == v:
+        return False
+    try:
+        return nx.shortest_path_length(graph, u, v) <= r
+    except nx.NetworkXNoPath:
+        return False
+
+
+def induced_square_subgraph(graph: nx.Graph, vertices: Iterable[Node]) -> nx.Graph:
+    """Return ``G^2[S]``: the subgraph of ``G^2`` induced by ``vertices``.
+
+    Distances are measured in ``G`` (paper Section 2 notation), so two
+    vertices of ``S`` are adjacent iff their ``G``-distance is at most two,
+    even when the connecting middle vertex lies outside ``S``.
+    """
+    vertex_set = set(vertices)
+    result = nx.Graph()
+    result.add_nodes_from(
+        (v, graph.nodes[v]) for v in vertex_set
+    )
+    for source in vertex_set:
+        for target in _bounded_bfs(graph, source, 2):
+            if target in vertex_set:
+                result.add_edge(source, target)
+    return result

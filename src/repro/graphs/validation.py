@@ -1,0 +1,101 @@
+"""Feasibility checking and quality measurement for covers and dominating sets.
+
+Every algorithm and lower-bound construction in the repository funnels its
+output through these checks, so they are written defensively: unknown
+vertices in a purported solution raise instead of silently passing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+import networkx as nx
+
+Node = Hashable
+
+#: Node-attribute key used for vertex weights throughout the repository.
+WEIGHT = "weight"
+
+
+def _as_known_set(graph: nx.Graph, vertices: Iterable[Node]) -> set[Node]:
+    solution = set(vertices)
+    unknown = solution - set(graph.nodes)
+    if unknown:
+        raise ValueError(
+            f"solution contains {len(unknown)} vertices not in the graph, "
+            f"e.g. {next(iter(unknown))!r}"
+        )
+    return solution
+
+
+def uncovered_edges(
+    graph: nx.Graph, cover: Iterable[Node]
+) -> list[tuple[Node, Node]]:
+    """Return all edges with neither endpoint in ``cover``."""
+    solution = _as_known_set(graph, cover)
+    return [
+        (u, v) for u, v in graph.edges if u not in solution and v not in solution
+    ]
+
+
+def is_vertex_cover(graph: nx.Graph, cover: Iterable[Node]) -> bool:
+    """Return True iff ``cover`` covers every edge of ``graph``."""
+    solution = _as_known_set(graph, cover)
+    return all(u in solution or v in solution for u, v in graph.edges)
+
+
+def undominated_vertices(
+    graph: nx.Graph, dominating: Iterable[Node]
+) -> list[Node]:
+    """Return all vertices neither in ``dominating`` nor adjacent to it."""
+    solution = _as_known_set(graph, dominating)
+    return [
+        v
+        for v in graph.nodes
+        if v not in solution and not any(u in solution for u in graph.neighbors(v))
+    ]
+
+
+def is_dominating_set(graph: nx.Graph, dominating: Iterable[Node]) -> bool:
+    """Return True iff every vertex is in ``dominating`` or adjacent to it."""
+    return not undominated_vertices(graph, dominating)
+
+
+def cover_weight(graph: nx.Graph, solution: Iterable[Node]) -> float:
+    """Return the total weight of ``solution``.
+
+    Vertices without a ``weight`` attribute count 1, so unweighted problems
+    reduce to cardinality.
+    """
+    vertices = _as_known_set(graph, solution)
+    return sum(graph.nodes[v].get(WEIGHT, 1) for v in vertices)
+
+
+def approximation_ratio(
+    graph: nx.Graph, solution: Iterable[Node], optimum: float
+) -> float:
+    """Return weight(solution)/optimum; an optimum of 0 with cost 0 is 1.0."""
+    cost = cover_weight(graph, solution)
+    if optimum == 0:
+        if cost == 0:
+            return 1.0
+        raise ValueError("nonzero-cost solution compared against zero optimum")
+    return cost / optimum
+
+
+def assert_vertex_cover(graph: nx.Graph, cover: Iterable[Node]) -> None:
+    """Raise ``AssertionError`` (with a witness edge) unless feasible."""
+    missing = uncovered_edges(graph, cover)
+    if missing:
+        raise AssertionError(
+            f"{len(missing)} uncovered edges, e.g. {missing[0]!r}"
+        )
+
+
+def assert_dominating_set(graph: nx.Graph, dominating: Iterable[Node]) -> None:
+    """Raise ``AssertionError`` (with a witness vertex) unless feasible."""
+    missing = undominated_vertices(graph, dominating)
+    if missing:
+        raise AssertionError(
+            f"{len(missing)} undominated vertices, e.g. {missing[0]!r}"
+        )

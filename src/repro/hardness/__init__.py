@@ -1,0 +1,19 @@
+"""Section 8: centralized hardness of G^2-MVC and G^2-MDS."""
+
+from repro.hardness.reductions import (
+    mvc_square_reduction,
+    mds_square_reduction,
+    verify_mvc_reduction,
+    verify_mds_reduction,
+    fptas_refuting_epsilon,
+    recover_exact_mvc_via_square,
+)
+
+__all__ = [
+    "mvc_square_reduction",
+    "mds_square_reduction",
+    "verify_mvc_reduction",
+    "verify_mds_reduction",
+    "fptas_refuting_epsilon",
+    "recover_exact_mvc_via_square",
+]

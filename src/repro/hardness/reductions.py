@@ -1,0 +1,111 @@
+"""Theorems 44-45: polynomial reductions pinning the complexity of G^2
+problems in the centralized setting.
+
+* **MVC** (Theorem 44): replacing every edge of ``G`` by a 3-vertex
+  dangling path gives ``H`` with ``VC(H^2) = VC(G) + 2|E|`` — so exact
+  G^2-MVC is NP-complete, and a ``(1+eps)``-approximation with
+  ``eps = 1/(3|E|)`` would recover an exact MVC of ``G``: no FPTAS unless
+  P = NP.
+
+* **MDS** (Theorem 45): the same replacement with all gadgets *merged*
+  into one shared 3-tail gives ``MDS(H^2) = MDS(G) + 1`` — an
+  approximation-factor-preserving reduction, transferring Feige's
+  ``(1-eps) ln n`` inapproximability to G^2-MDS.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from typing import Any
+
+import networkx as nx
+
+from repro.graphs.power import square
+from repro.core.conditional import attach_dangling_paths
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.exact.dominating_set import minimum_dominating_set
+
+Node = Hashable
+
+
+def mvc_square_reduction(graph: nx.Graph) -> tuple[nx.Graph, dict[str, Any]]:
+    """Theorem 44's ``H``: one 3-vertex dangling path per edge of ``G``."""
+    return attach_dangling_paths(graph)
+
+
+def mds_square_reduction(graph: nx.Graph) -> tuple[nx.Graph, dict[str, Any]]:
+    """Theorem 45's ``H``: per-edge gadgets merged into one common tail.
+
+    Each edge ``e = {u, v}`` is replaced by a head ``("mp", u, v, 1)``
+    adjacent to ``u, v`` and a second vertex ``("mp", u, v, 2)``; all
+    second vertices share the common tail ``("mpc", 3)-("mpc", 4)-("mpc",
+    5)``.  One dominating-set vertex (the common ``[3]``) suffices for all
+    gadget vertices, hence ``MDS(H^2) = MDS(G) + 1``.
+    """
+    result = nx.Graph()
+    result.add_nodes_from(graph.nodes)
+    tail3, tail4, tail5 = ("mpc", 3), ("mpc", 4), ("mpc", 5)
+    if graph.number_of_edges() > 0:
+        result.add_edge(tail3, tail4)
+        result.add_edge(tail4, tail5)
+    heads = {}
+    for u, v in graph.edges:
+        a, b = sorted((u, v), key=repr)
+        head = ("mp", a, b, 1)
+        mid = ("mp", a, b, 2)
+        result.add_edge(head, a)
+        result.add_edge(head, b)
+        result.add_edge(head, mid)
+        result.add_edge(mid, tail3)
+        heads[(a, b)] = head
+    return result, {"heads": heads, "tail": (tail3, tail4, tail5)}
+
+
+def verify_mvc_reduction(graph: nx.Graph) -> tuple[int, int, bool]:
+    """Exactly check ``VC(H^2) == VC(G) + 2|E|`` on a small instance."""
+    reduced, _ = mvc_square_reduction(graph)
+    vc_g = len(minimum_vertex_cover(graph))
+    vc_h2 = len(minimum_vertex_cover(square(reduced)))
+    expected = vc_g + 2 * graph.number_of_edges()
+    return vc_h2, expected, vc_h2 == expected
+
+
+def verify_mds_reduction(graph: nx.Graph) -> tuple[int, int, bool]:
+    """Exactly check ``MDS(H^2) == MDS(G) + 1`` on a small instance."""
+    reduced, _ = mds_square_reduction(graph)
+    mds_g = len(minimum_dominating_set(graph))
+    offset = 1 if graph.number_of_edges() > 0 else 0
+    mds_h2 = len(minimum_dominating_set(square(reduced)))
+    expected = mds_g + offset
+    return mds_h2, expected, mds_h2 == expected
+
+
+def fptas_refuting_epsilon(graph: nx.Graph) -> float:
+    """The Theorem 44 choice ``eps = 1/(3|E|)``.
+
+    At this precision a (1+eps)-approximate cover of ``H^2`` has size less
+    than ``OPT + 1``, i.e. *is* optimal, so the approximation scheme would
+    solve NP-hard MVC exactly.
+    """
+    m = graph.number_of_edges()
+    if m == 0:
+        return 1.0
+    return 1.0 / (3.0 * m)
+
+
+def recover_exact_mvc_via_square(
+    graph: nx.Graph,
+    approx_square_cover: Callable[[nx.Graph, float], set[Node]],
+) -> set[Node]:
+    """Run the Theorem 44 argument end to end.
+
+    ``approx_square_cover(H, eps)`` must return a (1+eps)-approximate
+    vertex cover of ``H^2``.  With ``eps = 1/(3|E|)`` the projection onto
+    the original vertices is an *exact* minimum vertex cover of ``G``
+    (which the caller can verify against the exact solver).
+    """
+    reduced, _ = mvc_square_reduction(graph)
+    eps = fptas_refuting_epsilon(graph)
+    cover = approx_square_cover(reduced, eps)
+    original = set(graph.nodes)
+    return {v for v in cover if v in original}

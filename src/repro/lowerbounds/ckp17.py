@@ -1,0 +1,135 @@
+"""The [CKP17] MVC lower-bound family (Figure 1).
+
+Four k-cliques of *row vertices* ``A1, A2, B1, B2`` plus ``2 log2(k)``
+4-cycle *bit gadgets*.  Gadget ``(side, l)`` has vertices ``tA, fA, tB,
+fB`` arranged so that the two diagonal (non-adjacent) pairs are ``{tA,
+tB}`` and ``{fA, fB}``: cycle edges ``tA-fA, fA-tB, tB-fB, fB-tA``.  A row
+vertex connects, per bit position, to the ``t`` vertex when the bit of its
+(index - 1) is one and to the ``f`` vertex otherwise; edges inside
+``A1 x A2`` exist iff the corresponding ``x`` bit is **zero** (and
+similarly ``y`` for ``B1 x B2``).
+
+Accounting: every clique needs ``k - 1`` cover vertices and every 4-cycle
+needs two, so any cover has size at least ``W = 4(k-1) + 4 log2 k``.
+Equality forces one *exposed* vertex per clique; an exposed vertex's bit
+edges force its pattern into the cycles, the cycles' diagonal structure
+forces the ``A1/B1`` (and ``A2/B2``) exposures to use equal indices ``i``
+(resp. ``j``), and the exposed pair must be non-adjacent, i.e.
+``x_ij = y_ij = 1``.  Hence ``MVC = W`` iff ``DISJ(x, y)`` is false.
+
+Why 1-based indices: the paper's example "``a^1_1`` is connected to all
+the ``f`` vertices" corresponds to the all-zero bit pattern of ``i - 1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.lowerbounds.disjointness import BitMatrix, disj
+from repro.lowerbounds.framework import LowerBoundFamily
+
+ROWS = ("a1", "a2", "b1", "b2")
+
+
+def _require_power_of_two(k: int) -> int:
+    if k < 2 or k & (k - 1):
+        raise ValueError(f"k must be a power of two >= 2, got {k}")
+    return int(math.log2(k))
+
+
+def row_vertex(row: str, i: int) -> tuple:
+    return (row, i)
+
+
+def bit_vertex(letter: str, side: str, level: int) -> tuple:
+    """``letter`` in {t, f}; ``side`` in {A1, B1, A2, B2}; 0-based level."""
+    return (letter, side, level)
+
+
+def _bit(i: int, level: int) -> int:
+    """The ``level``-th bit of ``i - 1`` (rows are 1-based)."""
+    return (i - 1) >> level & 1
+
+
+def pattern_vertex(row_side: str, i: int, level: int) -> tuple:
+    """The bit vertex row ``i`` of ``row_side`` is connected to at ``level``."""
+    letter = "t" if _bit(i, level) else "f"
+    return bit_vertex(letter, row_side, level)
+
+
+def add_bit_cycles(graph: nx.Graph, pair: tuple[str, str], levels: int) -> None:
+    """Add the 4-cycle gadgets for a side pair, e.g. ("A1", "B1")."""
+    a_side, b_side = pair
+    for level in range(levels):
+        ta = bit_vertex("t", a_side, level)
+        fa = bit_vertex("f", a_side, level)
+        tb = bit_vertex("t", b_side, level)
+        fb = bit_vertex("f", b_side, level)
+        # Diagonals {ta, tb} and {fa, fb} must be the non-adjacent pairs.
+        graph.add_edge(ta, fa)
+        graph.add_edge(fa, tb)
+        graph.add_edge(tb, fb)
+        graph.add_edge(fb, ta)
+
+
+def build_ckp17_mvc(x: BitMatrix, y: BitMatrix, k: int) -> LowerBoundFamily:
+    """Construct ``G_{x,y}`` for MVC (Figure 1)."""
+    levels = _require_power_of_two(k)
+    graph = nx.Graph()
+
+    # Row cliques.
+    for row in ROWS:
+        vertices = [row_vertex(row, i) for i in range(1, k + 1)]
+        graph.add_nodes_from(vertices)
+        for a in range(k):
+            for b in range(a + 1, k):
+                graph.add_edge(vertices[a], vertices[b])
+
+    # Bit gadgets (4-cycles) for (A1, B1) and (A2, B2).
+    add_bit_cycles(graph, ("A1", "B1"), levels)
+    add_bit_cycles(graph, ("A2", "B2"), levels)
+
+    # Row-to-bit edges.
+    side_of_row = {"a1": "A1", "a2": "A2", "b1": "B1", "b2": "B2"}
+    for row, side in side_of_row.items():
+        for i in range(1, k + 1):
+            for level in range(levels):
+                graph.add_edge(row_vertex(row, i), pattern_vertex(side, i, level))
+
+    # Input-dependent edges: present iff the bit is ZERO.
+    for i in range(1, k + 1):
+        for j in range(1, k + 1):
+            if (i, j) not in x:
+                graph.add_edge(row_vertex("a1", i), row_vertex("a2", j))
+            if (i, j) not in y:
+                graph.add_edge(row_vertex("b1", i), row_vertex("b2", j))
+
+    alice = {v for v in graph.nodes if _is_alice(v)}
+    bob = set(graph.nodes) - alice
+    return LowerBoundFamily(
+        graph=graph,
+        alice=alice,
+        bob=bob,
+        x=x,
+        y=y,
+        k=k,
+        threshold=ckp17_threshold(k),
+        predicate_holds=not disj(x, y),
+        description="[CKP17] G-MVC family (paper Figure 1)",
+    )
+
+
+def _is_alice(vertex: tuple) -> bool:
+    if vertex[0] in ("a1", "a2"):
+        return True
+    if vertex[0] in ("b1", "b2"):
+        return False
+    return vertex[1] in ("A1", "A2")
+
+
+def ckp17_threshold(k: int) -> int:
+    """``W = 4(k-1) + 4 log2 k``: MVC(G_{x,y}) = W iff not DISJ(x, y)."""
+    levels = _require_power_of_two(k)
+    return 4 * (k - 1) + 4 * levels

@@ -1,0 +1,59 @@
+"""Set disjointness over k x k bit matrices.
+
+The reductions index the ``K = k^2`` input bits of each player as a matrix:
+``x[i][j]`` controls the (non-)existence of an edge between row vertex ``i``
+of one clique and row vertex ``j`` of another.  We represent an input as a
+frozenset of one-positions ``(i, j)`` with ``1 <= i, j <= k``.
+
+``DISJ(x, y)`` is **false** iff some position is 1 in both inputs (the
+paper's convention); its deterministic and randomized communication
+complexity is Theta(K) [KN97], which is the currency Theorem 19 converts
+into CONGEST rounds.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterator
+
+BitMatrix = frozenset[tuple[int, int]]
+
+
+def positions(k: int) -> list[tuple[int, int]]:
+    """All (row, column) index pairs, 1-based as in the paper."""
+    return [(i, j) for i in range(1, k + 1) for j in range(1, k + 1)]
+
+
+def disj(x: BitMatrix, y: BitMatrix) -> bool:
+    """DISJ(x, y): True iff no position is 1 in both inputs."""
+    return not (x & y)
+
+
+def random_instance(
+    k: int, seed: int = 0, density: float = 0.5
+) -> tuple[BitMatrix, BitMatrix]:
+    """A random pair of inputs (about half the pairs intersect)."""
+    rng = random.Random(seed)
+    pool = positions(k)
+    x = frozenset(p for p in pool if rng.random() < density)
+    y = frozenset(p for p in pool if rng.random() < density)
+    return x, y
+
+
+def all_instances(k: int) -> Iterator[tuple[BitMatrix, BitMatrix]]:
+    """Every (x, y) pair — exponential; only sensible for k = 2."""
+    pool = positions(k)
+    subsets = [
+        frozenset(c)
+        for size in range(len(pool) + 1)
+        for c in itertools.combinations(pool, size)
+    ]
+    for x in subsets:
+        for y in subsets:
+            yield x, y
+
+
+def disjointness_cc_bound(k: int) -> int:
+    """CC(DISJ_{k^2}) = Theta(k^2); we return the k^2 witness."""
+    return k * k

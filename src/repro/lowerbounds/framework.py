@@ -1,0 +1,133 @@
+"""Definition 18 / Theorem 19: the Alice-Bob reduction framework.
+
+A :class:`LowerBoundFamily` packages one member ``G_{x,y}`` of a family of
+lower bound graphs together with its vertex partition, its inputs and the
+predicate value the construction promises.  Helpers check the definition's
+side-independence conditions empirically and compute the round lower bound
+Theorem 19 yields:
+
+    rounds = Omega( CC(f) / (|cut| * log n) ).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Hashable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+import networkx as nx
+
+from repro.lowerbounds.disjointness import BitMatrix
+
+Node = Hashable
+
+
+@dataclass
+class LowerBoundFamily:
+    """One graph ``G_{x,y}`` of a family of lower bound graphs.
+
+    Attributes
+    ----------
+    graph:
+        The constructed graph (node attribute ``weight`` where relevant).
+    alice, bob:
+        The vertex partition ``V_A``, ``V_B`` of Definition 18.
+    x, y:
+        The players' set-disjointness inputs.
+    k:
+        Row parameter (inputs have ``k^2`` bits each).
+    threshold:
+        The predicate's numeric threshold (e.g. a cover size/weight ``W``).
+    predicate_holds:
+        The value the construction *promises* for "optimum <= threshold"
+        (always equal to ``not DISJ(x, y)`` for our families).
+    description:
+        Human-readable provenance (figure / theorem number).
+    """
+
+    graph: nx.Graph
+    alice: set[Node]
+    bob: set[Node]
+    x: BitMatrix
+    y: BitMatrix
+    k: int
+    threshold: float
+    predicate_holds: bool
+    description: str
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        nodes = set(self.graph.nodes)
+        if self.alice | self.bob != nodes or self.alice & self.bob:
+            raise ValueError("alice/bob must partition the vertex set")
+
+    @property
+    def cut_edges(self) -> list[tuple[Node, Node]]:
+        """Edges crossing the Alice-Bob partition."""
+        return [
+            (u, v)
+            for u, v in self.graph.edges
+            if (u in self.alice) != (v in self.alice)
+        ]
+
+    @property
+    def cut_size(self) -> int:
+        return len(self.cut_edges)
+
+    def side_subgraph(self, side: str) -> nx.Graph:
+        vertices = self.alice if side == "alice" else self.bob
+        return self.graph.subgraph(vertices).copy()
+
+
+def implied_round_lower_bound(
+    cc_bits: float, cut_size: int, n: int
+) -> float:
+    """Theorem 19: rounds >= CC(f) / (|C| * log n)."""
+    if cut_size <= 0:
+        raise ValueError("cut must be non-empty")
+    return cc_bits / (cut_size * max(1.0, math.log2(n)))
+
+
+def _edge_fingerprint(graph: nx.Graph, vertices: set[Node]) -> frozenset:
+    """Canonical fingerprint of the induced (weighted) subgraph."""
+    pieces = []
+    for u, v, data in graph.subgraph(vertices).edges(data=True):
+        key = tuple(sorted((repr(u), repr(v))))
+        pieces.append((key, data.get("weight")))
+    return frozenset(pieces)
+
+
+def verify_side_independence(
+    builder: Callable[[BitMatrix, BitMatrix], LowerBoundFamily],
+    instances: Iterable[tuple[BitMatrix, BitMatrix]],
+) -> None:
+    """Check Definition 18's conditions 1 and 2 over sample inputs.
+
+    Alice's induced subgraph must depend only on ``x``, Bob's only on
+    ``y``, and the cut must not depend on either.  Raises AssertionError
+    with a description on violation.
+    """
+    alice_views: dict[BitMatrix, frozenset] = {}
+    bob_views: dict[BitMatrix, frozenset] = {}
+    cut_views: set[frozenset] = set()
+    for x, y in instances:
+        family = builder(x, y)
+        a_view = _edge_fingerprint(family.graph, family.alice)
+        b_view = _edge_fingerprint(family.graph, family.bob)
+        cut_view = frozenset(
+            tuple(sorted((repr(u), repr(v)))) for u, v in family.cut_edges
+        )
+        if x in alice_views and alice_views[x] != a_view:
+            raise AssertionError(
+                "Alice's side changed under fixed x (Definition 18.1 violated)"
+            )
+        if y in bob_views and bob_views[y] != b_view:
+            raise AssertionError(
+                "Bob's side changed under fixed y (Definition 18.2 violated)"
+            )
+        alice_views[x] = a_view
+        bob_views[y] = b_view
+        cut_views.add(cut_view)
+    if len(cut_views) > 1:
+        raise AssertionError("the cut edge set must be input-independent")

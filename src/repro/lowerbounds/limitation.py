@@ -1,0 +1,72 @@
+"""Lemma 25: why small-cut families cannot bound (1+eps)-MVC on G^2.
+
+The two players can approximate G^2-MVC almost perfectly with O(log n)
+communication: each takes every endpoint of a cut edge on its side, plus a
+*local optimum* of the square edges entirely inside its remaining half,
+then they exchange only the two solution sizes.  Feasibility is immediate
+(any square edge not covered by the cut vertices lies wholly on one side),
+and by Lemma 6 the optimum is at least n/2, so o(n) cut vertices inflate
+the factor by only 1 + o(1).  Hence Theorem 19 with a small-cut family
+cannot beat a constant for (1+eps)-approximate G^2-MVC — the structural
+reason the paper's near-quadratic bounds stop at *exact* G^2-MVC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Hashable
+
+import networkx as nx
+
+from repro.graphs.power import square
+from repro.lowerbounds.framework import LowerBoundFamily
+from repro.exact.vertex_cover import minimum_vertex_cover
+
+Node = Hashable
+
+
+@dataclass
+class ProtocolOutcome:
+    """Result of the Lemma 25 two-party protocol."""
+
+    cover: set[Node]
+    bits_exchanged: int
+    cut_vertices: set[Node]
+    alice_local: set[Node]
+    bob_local: set[Node]
+
+
+def two_party_cover_protocol(family: LowerBoundFamily) -> ProtocolOutcome:
+    """Run the Lemma 25 protocol on a lower-bound family member.
+
+    Returns a vertex cover of ``G^2_{x,y}`` built from the cut vertices and
+    per-side local optima; the only communication is one solution size per
+    player (``2 ceil(log2 n)`` bits).
+    """
+    graph = family.graph
+    sq = square(graph)
+    cut_vertices = {v for e in family.cut_edges for v in e}
+
+    def local_cover(side: set[Node]) -> set[Node]:
+        interior = side - cut_vertices
+        pieces = nx.Graph()
+        pieces.add_nodes_from(interior)
+        pieces.add_edges_from(
+            (u, v)
+            for u, v in sq.edges
+            if u in interior and v in interior
+        )
+        return minimum_vertex_cover(pieces)
+
+    alice_local = local_cover(family.alice)
+    bob_local = local_cover(family.bob)
+    cover = cut_vertices | alice_local | bob_local
+    bits = 2 * max(1, math.ceil(math.log2(graph.number_of_nodes() + 1)))
+    return ProtocolOutcome(
+        cover=cover,
+        bits_exchanged=bits,
+        cut_vertices=cut_vertices,
+        alice_local=alice_local,
+        bob_local=bob_local,
+    )

@@ -1,0 +1,229 @@
+"""Sections 7.2-7.3 / Figures 6-7: constant-gap G^2-MDS families.
+
+These are the constructions behind Theorems 35 (weighted, no
+c-approximation for c < 7/6) and 41 (unweighted, c < 9/8).  The key ideas,
+as implemented here:
+
+* **merged path gadgets** — all Alice-side shared paths funnel into a
+  single common tail ``A*[3]-A*[4]-A*[5]`` (same for Bob), collapsing the
+  Theta(k log k) per-gadget cost of Section 7.1 into O(1), which is what
+  makes a *constant* optimum (and hence a constant-factor gap) possible;
+* **set gadgets** — an r-covering system (Definition 37) forces any
+  dominating set that skips the cheap complementary pair ``{S_i,
+  complement(S_i)}`` to pay for many set vertices (Lemma 39), pinning the
+  optimum's structure;
+* the four leftover row vertices ``a_i, b_i, a'_j, b'_j`` can be finished
+  by two gadget heads iff ``x_ij = y_ij = 1`` — a weight/size difference
+  of exactly one, i.e. 6-vs-7 (weighted) and 8-vs-9 (unweighted).
+
+The only Alice-Bob cut edges are the ``2 l`` element-pairing edges
+``alpha_e - beta_e``, so the cut is O(log T) when ``l = O(log T)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.graphs.validation import WEIGHT
+from repro.lowerbounds.disjointness import BitMatrix, disj
+from repro.lowerbounds.framework import LowerBoundFamily
+from repro.lowerbounds.set_system import (
+    SetSystem,
+    find_r_covering_system,
+    has_r_covering_property,
+)
+
+
+@dataclass
+class GapConstructionParams:
+    """Parameters of the Figure 6/7 construction.
+
+    ``element_weight`` plays the paper's "r": it must exceed the gap
+    threshold so no dominating set within budget can afford an element or
+    hub vertex (the covering parameter ``r_cov`` of the set system can be
+    much smaller — separating the two keeps the explicit instances small
+    enough for exact verification).
+    """
+
+    num_sets: int = 3
+    universe_size: int = 4
+    r_cov: int = 2
+    element_weight: int = 10
+    seed: int = 0
+    sets: SetSystem = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_sets < 3:
+            raise ValueError("need T >= 3 so set vertices dominate each other")
+        if not self.sets:
+            self.sets = find_r_covering_system(
+                self.universe_size, self.num_sets, self.r_cov, seed=self.seed
+            )
+        if not has_r_covering_property(
+            self.sets, self.universe_size, self.r_cov
+        ):
+            raise ValueError("provided sets lack the r-covering property")
+
+
+def _add_weighted_node(graph: nx.Graph, vertex: tuple, weight: int) -> tuple:
+    graph.add_node(vertex, weight=weight)
+    return vertex
+
+
+def build_gap_family(
+    x: BitMatrix,
+    y: BitMatrix,
+    params: GapConstructionParams | None = None,
+    weighted: bool = True,
+) -> LowerBoundFamily:
+    """Construct ``H_{x,y}`` of Theorem 35 (weighted) or 41 (unweighted).
+
+    The returned family's ``threshold`` is the cheap-side optimum (6 or 8);
+    the construction promises optimum <= threshold iff ``DISJ(x, y)`` is
+    false, and >= threshold + 1 otherwise.
+    """
+    if params is None:
+        params = GapConstructionParams()
+    T = params.num_sets
+    ell = params.universe_size
+    sets = params.sets
+    heavy = params.element_weight
+    if any(i > T or j > T for i, j in x | y):
+        raise ValueError("input bits index beyond T rows")
+
+    graph = nx.Graph()
+    w_unit = 1
+    w_elem = heavy if weighted else 1
+
+    # --- rows -------------------------------------------------------------
+    rows_a = [_add_weighted_node(graph, ("a", i), w_unit) for i in range(1, T + 1)]
+    rows_ap = [_add_weighted_node(graph, ("a'", i), w_unit) for i in range(1, T + 1)]
+    rows_b = [_add_weighted_node(graph, ("b", i), w_unit) for i in range(1, T + 1)]
+    rows_bp = [_add_weighted_node(graph, ("b'", i), w_unit) for i in range(1, T + 1)]
+
+    # --- set gadgets (unprimed serves A/B, primed serves A'/B') -----------
+    def add_set_gadget(prime: str) -> None:
+        for i in range(1, T + 1):
+            _add_weighted_node(graph, (f"S{prime}", i), w_unit)
+            _add_weighted_node(graph, (f"S{prime}bar", i), w_unit)
+        for e in range(1, ell + 1):
+            alpha = _add_weighted_node(graph, (f"alpha{prime}", e), w_elem)
+            beta = _add_weighted_node(graph, (f"beta{prime}", e), w_elem)
+            graph.add_edge(alpha, beta)
+        for i, members in enumerate(sets, start=1):
+            for e in range(1, ell + 1):
+                if e in members:
+                    graph.add_edge((f"S{prime}", i), (f"alpha{prime}", e))
+                else:
+                    graph.add_edge((f"S{prime}bar", i), (f"beta{prime}", e))
+        if weighted:
+            hub_a = _add_weighted_node(graph, (f"alpha{prime}_hub",), w_elem)
+            hub_b = _add_weighted_node(graph, (f"beta{prime}_hub",), w_elem)
+            for i in range(1, T + 1):
+                graph.add_edge(hub_a, (f"S{prime}", i))
+                graph.add_edge(hub_b, (f"S{prime}bar", i))
+
+    add_set_gadget("")
+    add_set_gadget("'")
+
+    # --- merged shared path gadgets ----------------------------------------
+    star_weight = 0 if weighted else 1
+    astar = [_add_weighted_node(graph, ("Astar", i), star_weight if i == 3 else w_unit)
+             for i in (3, 4, 5)]
+    bstar = [_add_weighted_node(graph, ("Bstar", i), star_weight if i == 3 else w_unit)
+             for i in (3, 4, 5)]
+    graph.add_edge(astar[0], astar[1])
+    graph.add_edge(astar[1], astar[2])
+    graph.add_edge(bstar[0], bstar[1])
+    graph.add_edge(bstar[1], bstar[2])
+
+    def add_shared_path(kind: str, i: int, row: tuple, star: tuple) -> tuple:
+        head = _add_weighted_node(graph, (kind, i, 1), w_unit)
+        mid = _add_weighted_node(graph, (kind, i, 2), w_unit)
+        graph.add_edge(head, mid)
+        graph.add_edge(mid, star)
+        graph.add_edge(head, row)
+        return head
+
+    heads_as = {}
+    heads_aa = {}
+    heads_asp = {}
+    heads_aap = {}
+    heads_bs = {}
+    heads_bb = {}
+    heads_bsp = {}
+    heads_bbp = {}
+    for i in range(1, T + 1):
+        heads_as[i] = add_shared_path("AS", i, ("a", i), astar[0])
+        heads_aa[i] = add_shared_path("Aa", i, ("a", i), astar[0])
+        heads_asp[i] = add_shared_path("AS'", i, ("a'", i), astar[0])
+        heads_aap[i] = add_shared_path("Aa'", i, ("a'", i), astar[0])
+        heads_bs[i] = add_shared_path("BS", i, ("b", i), bstar[0])
+        heads_bb[i] = add_shared_path("Bb", i, ("b", i), bstar[0])
+        heads_bsp[i] = add_shared_path("BS'", i, ("b'", i), bstar[0])
+        heads_bbp[i] = add_shared_path("Bb'", i, ("b'", i), bstar[0])
+
+    # Set-selection edges: head i reaches every set vertex except index i.
+    for i in range(1, T + 1):
+        for j in range(1, T + 1):
+            if i == j:
+                continue
+            graph.add_edge(heads_as[i], ("S", j))
+            graph.add_edge(heads_asp[i], ("S'", j))
+            graph.add_edge(heads_bs[i], ("Sbar", j))
+            graph.add_edge(heads_bsp[i], ("S'bar", j))
+
+    # Unweighted variant: q vertices replace the hubs (Section 7.3).
+    if not weighted:
+        for i in range(1, T + 1):
+            q = _add_weighted_node(graph, ("q", i), w_unit)
+            graph.add_edge(q, ("S", i))
+            graph.add_edge(q, astar[0])
+            qp = _add_weighted_node(graph, ("q'", i), w_unit)
+            graph.add_edge(qp, ("S'", i))
+            graph.add_edge(qp, astar[0])
+            qb = _add_weighted_node(graph, ("qbar", i), w_unit)
+            graph.add_edge(qb, ("Sbar", i))
+            graph.add_edge(qb, bstar[0])
+            qpb = _add_weighted_node(graph, ("q'bar", i), w_unit)
+            graph.add_edge(qpb, ("S'bar", i))
+            graph.add_edge(qpb, bstar[0])
+
+    # Input edges between the a/a' and b/b' gadget heads.
+    for i in range(1, T + 1):
+        for j in range(1, T + 1):
+            if (i, j) in x:
+                graph.add_edge(heads_aa[i], heads_aap[j])
+            if (i, j) in y:
+                graph.add_edge(heads_bb[i], heads_bbp[j])
+
+    alice_prefixes = (
+        "a", "a'", "S", "S'", "alpha", "alpha'", "alpha_hub", "alpha'_hub",
+        "AS", "Aa", "AS'", "Aa'", "Astar", "q", "q'",
+    )
+    alice = {v for v in graph.nodes if v[0] in alice_prefixes}
+    bob = set(graph.nodes) - alice
+
+    threshold = 6 if weighted else 8
+    return LowerBoundFamily(
+        graph=graph,
+        alice=alice,
+        bob=bob,
+        x=x,
+        y=y,
+        k=T,
+        threshold=threshold,
+        predicate_holds=not disj(x, y),
+        description=(
+            "Section 7.2 weighted gap family (Figure 7)"
+            if weighted
+            else "Section 7.3 unweighted gap family"
+        ),
+        extra={
+            "weighted": weighted,
+            "params": params,
+            "weights": {v: graph.nodes[v][WEIGHT] for v in graph.nodes},
+        },
+    )

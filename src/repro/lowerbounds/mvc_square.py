@@ -1,0 +1,119 @@
+"""Section 5.3 / Figure 3: the unweighted G^2-MVC family ``H_{x,y}``.
+
+Weights are eliminated with *dangling path gadgets*: each bit-incident
+edge ``e = {u, v}`` becomes a 3-vertex path ``DPe[1]-DPe[2]-DPe[3]`` whose
+head is adjacent to ``u`` and ``v``.  In ``H^2`` the three gadget vertices
+form a triangle, so every cover pays two per gadget, and Lemma 23 shows an
+optimal cover can always take ``{DPe[1], DPe[2]}`` — after which exactly
+the original edges remain.  Clique-to-clique edges again share gadgets
+(one 3-path per ``A1``/``B1`` row vertex carrying the ``x``/``y`` edges).
+
+Lemma 24: ``MVC(H^2) = W + 2 * (#gadgets)`` iff ``MVC(G) = W``, with
+``#gadgets = 2k + 4k log2 k + 8 log2 k``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.lowerbounds.ckp17 import build_ckp17_mvc, ckp17_threshold
+from repro.lowerbounds.disjointness import BitMatrix, disj
+from repro.lowerbounds.framework import LowerBoundFamily
+from repro.lowerbounds.mwvc_square import _is_bit_vertex
+
+
+def dangling_vertex(u: tuple, v: tuple, index: int) -> tuple:
+    a, b = sorted((u, v), key=repr)
+    return ("dp", a, b, index)
+
+
+def shared_vertex(row: str, i: int, index: int) -> tuple:
+    return ("sh" + row, i, index)
+
+
+def build_mvc_square_family(
+    x: BitMatrix, y: BitMatrix, k: int
+) -> LowerBoundFamily:
+    """Construct ``H_{x,y}`` for unweighted G^2-MVC (Figure 3)."""
+    base = build_ckp17_mvc(x, y, k)
+    source = base.graph
+    graph = nx.Graph()
+    graph.add_nodes_from(source.nodes)
+
+    gadget_heads: list[tuple] = []
+
+    def add_dangling(u: tuple, v: tuple) -> None:
+        d1, d2, d3 = (dangling_vertex(u, v, i) for i in (1, 2, 3))
+        graph.add_edge(d1, u)
+        graph.add_edge(d1, v)
+        graph.add_edge(d1, d2)
+        graph.add_edge(d2, d3)
+        gadget_heads.append(d1)
+
+    shared_a = {}
+    shared_b = {}
+    for i in range(1, k + 1):
+        s1, s2, s3 = (shared_vertex("a", i, idx) for idx in (1, 2, 3))
+        graph.add_edge(s1, ("a1", i))
+        graph.add_edge(s1, s2)
+        graph.add_edge(s2, s3)
+        shared_a[i] = s1
+        gadget_heads.append(s1)
+        t1, t2, t3 = (shared_vertex("b", i, idx) for idx in (1, 2, 3))
+        graph.add_edge(t1, ("b1", i))
+        graph.add_edge(t1, t2)
+        graph.add_edge(t2, t3)
+        shared_b[i] = t1
+        gadget_heads.append(t1)
+
+    for u, v in source.edges:
+        if _is_bit_vertex(u) or _is_bit_vertex(v):
+            add_dangling(u, v)
+        elif {u[0], v[0]} == {"a1", "a2"}:
+            i = u[1] if u[0] == "a1" else v[1]
+            j = v[1] if v[0] == "a2" else u[1]
+            graph.add_edge(shared_a[i], ("a2", j))
+        elif {u[0], v[0]} == {"b1", "b2"}:
+            i = u[1] if u[0] == "b1" else v[1]
+            j = v[1] if v[0] == "b2" else u[1]
+            graph.add_edge(shared_b[i], ("b2", j))
+        else:
+            graph.add_edge(u, v)
+
+    alice = set(base.alice)
+    for v in graph.nodes:
+        if v in source.nodes:
+            continue
+        if v[0] == "dp":
+            _, a, b, _idx = v
+            if a in base.alice and b in base.alice:
+                alice.add(v)
+        elif v[0] == "sha":
+            alice.add(v)
+    bob = set(graph.nodes) - alice
+
+    gadget_count = len(gadget_heads)
+    return LowerBoundFamily(
+        graph=graph,
+        alice=alice,
+        bob=bob,
+        x=x,
+        y=y,
+        k=k,
+        threshold=mvc_square_threshold(k),
+        predicate_holds=not disj(x, y),
+        description="Section 5.3 G^2-MVC family (paper Figure 3)",
+        extra={"gadget_count": gadget_count, "base_threshold": ckp17_threshold(k)},
+    )
+
+
+def mvc_square_threshold(k: int) -> int:
+    """``W + 2 * #gadgets`` — the size of MVC(H^2) when DISJ is false.
+
+    ``#gadgets = 2k + 4k log2 k + 8 log2 k`` (shared + row-bit + cycle).
+    """
+    import math
+
+    levels = int(math.log2(k))
+    gadgets = 2 * k + 4 * k * levels + 8 * levels
+    return ckp17_threshold(k) + 2 * gadgets

@@ -1,0 +1,102 @@
+"""Section 5.2 / Figure 2: the weighted G^2-MVC family ``H_{x,y}``.
+
+Start from the [CKP17] graph.  Every edge touching a bit-gadget vertex is
+replaced by a *path gadget*: a single zero-weight vertex ``p_e`` adjacent
+to both endpoints (the original edge is deleted) — in ``H^2`` the endpoints
+are adjacent again, and ``p_e`` is free to take.  The Theta(k^2) clique-to-
+clique edges cannot each afford a gadget, so the rows *share*: one
+zero-weight vertex ``p^i_a`` hangs off ``a^i_1`` and carries an edge to
+``a^j_2`` exactly when ``{a^i_1, a^j_2}`` existed (and symmetrically
+``p^i_b``).  Original vertices keep weight 1.
+
+Lemma 21: ``H^2_{x,y}`` has a vertex cover of weight ``W`` iff ``G_{x,y}``
+has one of weight ``W`` — so the [CKP17] threshold carries over verbatim
+and ``H`` still has only ``O(k log k)`` vertices, giving the Omega~(n^2)
+bound of Theorem 20.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graphs.validation import WEIGHT
+from repro.lowerbounds.ckp17 import build_ckp17_mvc, ckp17_threshold
+from repro.lowerbounds.disjointness import BitMatrix, disj
+from repro.lowerbounds.framework import LowerBoundFamily
+
+
+def _is_bit_vertex(vertex: tuple) -> bool:
+    return vertex[0] in ("t", "f", "u")
+
+
+def path_gadget_vertex(u: tuple, v: tuple) -> tuple:
+    a, b = sorted((u, v), key=repr)
+    return ("pe", a, b)
+
+
+def shared_gadget_vertex(row: str, i: int) -> tuple:
+    return ("p" + row, i)
+
+
+def build_mwvc_square_family(
+    x: BitMatrix, y: BitMatrix, k: int
+) -> LowerBoundFamily:
+    """Construct ``H_{x,y}`` for weighted G^2-MVC (Figure 2)."""
+    base = build_ckp17_mvc(x, y, k)
+    source = base.graph
+    graph = nx.Graph()
+    for v in source.nodes:
+        graph.add_node(v, weight=1)
+
+    shared_a = {i: shared_gadget_vertex("a", i) for i in range(1, k + 1)}
+    shared_b = {i: shared_gadget_vertex("b", i) for i in range(1, k + 1)}
+    for i in range(1, k + 1):
+        graph.add_node(shared_a[i], weight=0)
+        graph.add_edge(shared_a[i], ("a1", i))
+        graph.add_node(shared_b[i], weight=0)
+        graph.add_edge(shared_b[i], ("b1", i))
+
+    for u, v in source.edges:
+        if _is_bit_vertex(u) or _is_bit_vertex(v):
+            # Dedicated zero-weight path gadget.
+            p = path_gadget_vertex(u, v)
+            graph.add_node(p, weight=0)
+            graph.add_edge(p, u)
+            graph.add_edge(p, v)
+        elif {u[0], v[0]} == {"a1", "a2"}:
+            i = u[1] if u[0] == "a1" else v[1]
+            j = v[1] if v[0] == "a2" else u[1]
+            graph.add_edge(shared_a[i], ("a2", j))
+        elif {u[0], v[0]} == {"b1", "b2"}:
+            i = u[1] if u[0] == "b1" else v[1]
+            j = v[1] if v[0] == "b2" else u[1]
+            graph.add_edge(shared_b[i], ("b2", j))
+        else:
+            # Intra-clique edges stay.
+            graph.add_edge(u, v)
+
+    alice = set(base.alice)
+    for v in graph.nodes:
+        if v in source.nodes:
+            continue
+        if v[0] == "pe":
+            # Gadget joins Alice iff both original endpoints are Alice's.
+            _, a, b = v
+            if a in base.alice and b in base.alice:
+                alice.add(v)
+        elif v[0] == "pa":
+            alice.add(v)
+    bob = set(graph.nodes) - alice
+
+    return LowerBoundFamily(
+        graph=graph,
+        alice=alice,
+        bob=bob,
+        x=x,
+        y=y,
+        k=k,
+        threshold=ckp17_threshold(k),
+        predicate_holds=not disj(x, y),
+        description="Section 5.2 G^2-MWVC family (paper Figure 2)",
+        extra={"weights": {v: graph.nodes[v][WEIGHT] for v in graph.nodes}},
+    )

@@ -1,0 +1,169 @@
+"""Executable normal-form lemmas for gadget graphs.
+
+The lower-bound proofs repeatedly transform arbitrary optimal solutions
+into canonical ones without increasing cost:
+
+* **Lemma 23** — in the square of a graph with 3-vertex dangling paths,
+  any vertex cover can be rewritten to contain each gadget's head and
+  middle but never its tail.
+* **Lemmas 32/33** — in the square of a graph with 5-vertex paths, any
+  dominating set can be rewritten so that exactly the middle vertex
+  ``P[3]`` of each gadget is used, with heads exchanged for the original
+  endpoints they shadow.
+* **Lemma 36** — with merged gadgets, the common ``P_C[3]`` can always be
+  assumed chosen.
+
+These are not just proof devices: the transformations below are used by
+tests to certify that *every* optimal solution the exact solvers produce
+can be normalized at equal cost, which is precisely the exchange argument
+each lemma makes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+from repro.graphs.validation import assert_vertex_cover, assert_dominating_set
+
+Node = Hashable
+
+
+def normalize_dangling_cover(
+    square_graph: nx.Graph,
+    cover: Iterable[Node],
+    chains: Sequence[tuple[Node, Node, Node]],
+) -> set[Node]:
+    """Lemma 23: rewrite ``cover`` so each 3-chain contributes head+middle.
+
+    ``chains`` lists each gadget as ``(head, middle, tail)`` where the
+    head is adjacent to the replaced edge's endpoints.  In the square the
+    three vertices form a triangle, so any cover holds at least two of
+    them; tails cover nothing else, making the exchange free.  Raises if
+    the input is not a cover.
+    """
+    assert_vertex_cover(square_graph, cover)
+    result = set(cover)
+    for head, middle, tail in chains:
+        members = {v for v in (head, middle, tail) if v in result}
+        if len(members) < 2:
+            raise AssertionError(
+                f"a vertex cover must take two of the gadget triangle "
+                f"{(head, middle, tail)!r}"
+            )
+        if tail in result:
+            result.discard(tail)
+            for vertex in (head, middle):
+                if vertex not in result:
+                    result.add(vertex)
+                    break
+    assert_vertex_cover(square_graph, result)
+    return result
+
+
+def normalize_path5_dominating_set(
+    square_graph: nx.Graph,
+    dominating: Iterable[Node],
+    chains: Sequence[tuple[Node, ...]],
+) -> set[Node]:
+    """Lemmas 32/33 (and 36): push gadget picks onto the middle vertex.
+
+    ``chains`` lists each 5-vertex gadget ``(p1, p2, p3, p4, p5)`` (for a
+    merged gadget, pass each constituent's ``(p1, p2, c3, c4, c5)`` with
+    the shared tail).  The transformation: ensure ``p3`` is chosen (it
+    dominates everything ``p4/p5`` do and more), then drop ``p4/p5``.
+    ``p1/p2`` may legitimately remain when they shadow original vertices;
+    they are left untouched — Lemma 33's endpoint exchange is performed
+    by :func:`exchange_heads_for_endpoints`.
+    """
+    assert_dominating_set(square_graph, dominating)
+    result = set(dominating)
+    for chain in chains:
+        if len(chain) != 5:
+            raise ValueError("path gadgets have exactly five vertices")
+        _p1, _p2, p3, p4, p5 = chain
+        picked = {p3, p4, p5} & result
+        if not picked:
+            # p5's square-neighborhood is exactly {p3, p4, p5}: a
+            # dominating set without any of them cannot dominate p5.
+            raise AssertionError("p5 cannot be dominated without the tail")
+        # p3's square-neighborhood contains p4's and p5's, so the swap
+        # never loses coverage and never increases the size.
+        result.add(p3)
+        result.discard(p4)
+        result.discard(p5)
+    assert_dominating_set(square_graph, result)
+    return result
+
+
+def exchange_heads_for_endpoints(
+    square_graph: nx.Graph,
+    dominating: Iterable[Node],
+    head_to_endpoints: dict[Node, tuple[Node, ...]],
+) -> set[Node]:
+    """Lemma 33's exchange: a gadget head used as a dominator can be
+    swapped for one of the original endpoints it is attached to, provided
+    the swap keeps the set dominating (the lemma's case analysis shows
+    one of the endpoints always works)."""
+    assert_dominating_set(square_graph, dominating)
+    result = set(dominating)
+    for head, endpoints in head_to_endpoints.items():
+        if head not in result:
+            continue
+        for endpoint in endpoints:
+            candidate = (result - {head}) | {endpoint}
+            if not _fails_domination(square_graph, candidate):
+                result = candidate
+                break
+    assert_dominating_set(square_graph, result)
+    return result
+
+
+def _fails_domination(graph: nx.Graph, solution: set[Node]) -> bool:
+    for v in graph.nodes:
+        if v in solution:
+            continue
+        if not any(u in solution for u in graph.neighbors(v)):
+            return True
+    return False
+
+
+def chains_of_mvc_square_family(family) -> list[tuple[Node, Node, Node]]:
+    """Extract the (head, middle, tail) chains of a Figure 3 member."""
+    chains = []
+    seen = set()
+    for v in family.graph.nodes:
+        if v[0] in ("dp",) and v[3] == 1:
+            key = (v[1], v[2])
+            if key not in seen:
+                seen.add(key)
+                chains.append(
+                    (
+                        ("dp", v[1], v[2], 1),
+                        ("dp", v[1], v[2], 2),
+                        ("dp", v[1], v[2], 3),
+                    )
+                )
+        elif v[0] in ("sha", "shb") and v[2] == 1:
+            chains.append(
+                ((v[0], v[1], 1), (v[0], v[1], 2), (v[0], v[1], 3))
+            )
+    return chains
+
+
+def chains_of_mds_square_family(family) -> list[tuple[Node, ...]]:
+    """Extract the 5-vertex chains of a Figure 5 member."""
+    chains = []
+    seen = set()
+    for v in family.graph.nodes:
+        if v[0] == "dp5" and v[3] == 1:
+            key = ("dp5", v[1], v[2])
+            if key not in seen:
+                seen.add(key)
+                chains.append(
+                    tuple(("dp5", v[1], v[2], i) for i in (1, 2, 3, 4, 5))
+                )
+        elif v[0].startswith("sh5") and v[2] == 1:
+            chains.append(tuple((v[0], v[1], i) for i in (1, 2, 3, 4, 5)))
+    return chains

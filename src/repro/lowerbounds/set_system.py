@@ -1,0 +1,72 @@
+"""Definition 37: set systems with the r-covering property.
+
+A family ``S_1..S_T`` over universe ``{1..l}`` is *r-covering* if every
+collection of ``r`` sets drawn from ``{S_i, complement(S_i)}`` — never both
+of the same index — leaves some element uncovered.  The paper cites
+Nisan's probabilistic existence bound (Lemma 38); since the gap
+constructions need explicit families at small parameters, we provide a
+brute-force verifier and a randomized search that returns a *verified*
+system.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Sequence
+
+SetSystem = list[frozenset[int]]
+
+
+def universe(universe_size: int) -> frozenset[int]:
+    return frozenset(range(1, universe_size + 1))
+
+
+def has_r_covering_property(
+    sets: Sequence[frozenset[int]], universe_size: int, r: int
+) -> bool:
+    """Brute-force check of Definition 37 (exponential in ``r``)."""
+    full = universe(universe_size)
+    signed = [(i, False) for i in range(len(sets))] + [
+        (i, True) for i in range(len(sets))
+    ]
+    for combo in itertools.combinations(signed, r):
+        indices = [i for i, _ in combo]
+        if len(set(indices)) != len(indices):
+            continue  # contains S_i together with its complement
+        covered: set[int] = set()
+        for i, complemented in combo:
+            covered |= (full - sets[i]) if complemented else sets[i]
+        if covered == full:
+            return False
+    return True
+
+
+def find_r_covering_system(
+    universe_size: int,
+    num_sets: int,
+    r: int,
+    seed: int = 0,
+    attempts: int = 2000,
+) -> SetSystem:
+    """Search for a verified r-covering system; raises if none found.
+
+    Half-size random subsets satisfy the property with decent probability
+    at the small parameters the benchmarks use (e.g. ``l = 4..10``,
+    ``T = 3..5``, ``r = 2..3``).
+    """
+    rng = random.Random(seed)
+    elements = sorted(universe(universe_size))
+    half = universe_size // 2
+    for _ in range(attempts):
+        sets = [
+            frozenset(rng.sample(elements, half)) for _ in range(num_sets)
+        ]
+        if len(set(sets)) == num_sets and has_r_covering_property(
+            sets, universe_size, r
+        ):
+            return sets
+    raise ValueError(
+        f"no {r}-covering system with T={num_sets} over l={universe_size} "
+        f"found in {attempts} attempts; increase the universe"
+    )

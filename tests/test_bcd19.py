@@ -1,0 +1,104 @@
+"""Tests for the [BCD+19] MDS family (Figure 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exact.dominating_set import minimum_dominating_set
+from repro.lowerbounds.bcd19 import bcd19_threshold, build_bcd19_mds
+from repro.lowerbounds.disjointness import (
+    all_instances,
+    disj,
+    positions,
+    random_instance,
+)
+from repro.lowerbounds.framework import verify_side_independence
+
+
+class TestShape:
+    def test_vertex_count(self):
+        x, y = random_instance(4, seed=0)
+        fam = build_bcd19_mds(x, y, 4)
+        levels = int(math.log2(4))
+        assert fam.graph.number_of_nodes() == 4 * 4 + 12 * levels
+
+    def test_six_cycles(self):
+        x, y = random_instance(2, seed=1)
+        fam = build_bcd19_mds(x, y, 2)
+        cycle = [
+            ("t", "A1", 0), ("f", "A1", 0), ("u", "B1", 0),
+            ("t", "B1", 0), ("f", "B1", 0), ("u", "A1", 0),
+        ]
+        for idx, v in enumerate(cycle):
+            assert fam.graph.has_edge(v, cycle[(idx + 1) % 6])
+
+    def test_u_vertices_private(self):
+        # The u vertices have no row edges: their degree is exactly 2.
+        x, y = random_instance(4, seed=2)
+        fam = build_bcd19_mds(x, y, 4)
+        for v in fam.graph.nodes:
+            if v[0] == "u":
+                assert fam.graph.degree(v) == 2
+
+    def test_input_edges_iff_one_bit(self):
+        x = frozenset({(1, 2)})
+        y = frozenset({(2, 1)})
+        fam = build_bcd19_mds(x, y, 2)
+        assert fam.graph.has_edge(("a1", 1), ("a2", 2))
+        assert not fam.graph.has_edge(("a1", 1), ("a2", 1))
+        assert fam.graph.has_edge(("b1", 2), ("b2", 1))
+        assert not fam.graph.has_edge(("b1", 1), ("b2", 1))
+
+    def test_cut_logarithmic(self):
+        for k in (2, 4, 8):
+            x, y = random_instance(k, seed=3)
+            fam = build_bcd19_mds(x, y, k)
+            # Each 6-cycle crosses the partition on 4 of its edges.
+            assert fam.cut_size <= 8 * int(math.log2(k))
+
+    def test_threshold_formula(self):
+        assert bcd19_threshold(2) == 6
+        assert bcd19_threshold(4) == 10
+
+
+class TestPredicate:
+    def test_exhaustive_k2(self):
+        W = bcd19_threshold(2)
+        for x, y in all_instances(2):
+            fam = build_bcd19_mds(x, y, 2)
+            mds = len(minimum_dominating_set(fam.graph))
+            assert (mds <= W) == (not disj(x, y)), (sorted(x), sorted(y))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_sampled_k4(self, seed):
+        W = bcd19_threshold(4)
+        x, y = random_instance(4, seed=seed)
+        fam = build_bcd19_mds(x, y, 4)
+        mds = len(minimum_dominating_set(fam.graph))
+        assert (mds <= W) == (not disj(x, y))
+
+    def test_adversarial_dense_disjoint_k4(self):
+        pool = positions(4)
+        x = frozenset(p for p in pool if p[0] <= 2)
+        y = frozenset(p for p in pool if p[0] > 2)
+        assert disj(x, y)
+        fam = build_bcd19_mds(x, y, 4)
+        assert len(minimum_dominating_set(fam.graph)) > bcd19_threshold(4)
+
+    def test_full_intersection_k4(self):
+        pool = positions(4)
+        x = frozenset(pool)
+        y = frozenset(pool)
+        fam = build_bcd19_mds(x, y, 4)
+        assert len(minimum_dominating_set(fam.graph)) <= bcd19_threshold(4)
+
+
+class TestSideIndependence:
+    def test_definition18(self):
+        samples = [random_instance(2, seed=s) for s in range(4)]
+        x0, y0 = samples[0]
+        samples.append((x0, samples[1][1]))
+        samples.append((samples[2][0], y0))
+        verify_side_independence(lambda x, y: build_bcd19_mds(x, y, 2), samples)

@@ -1,0 +1,86 @@
+"""Tests for the [CKP17] MVC family (Figure 1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.lowerbounds.ckp17 import (
+    build_ckp17_mvc,
+    ckp17_threshold,
+)
+from repro.lowerbounds.disjointness import all_instances, disj, random_instance
+
+
+class TestShape:
+    def test_vertex_count(self):
+        x, y = random_instance(4, seed=0)
+        fam = build_ckp17_mvc(x, y, 4)
+        levels = int(math.log2(4))
+        assert fam.graph.number_of_nodes() == 4 * 4 + 8 * levels
+
+    def test_cut_logarithmic(self):
+        for k in (2, 4, 8):
+            x, y = random_instance(k, seed=1)
+            fam = build_ckp17_mvc(x, y, k)
+            assert fam.cut_size == 4 * int(math.log2(k))
+
+    def test_rows_are_cliques(self):
+        x, y = random_instance(4, seed=2)
+        fam = build_ckp17_mvc(x, y, 4)
+        for row in ("a1", "a2", "b1", "b2"):
+            vertices = [(row, i) for i in range(1, 5)]
+            for i, u in enumerate(vertices):
+                for v in vertices[i + 1:]:
+                    assert fam.graph.has_edge(u, v)
+
+    def test_input_edges_iff_zero_bit(self):
+        x = frozenset({(1, 2)})
+        y = frozenset({(2, 1)})
+        fam = build_ckp17_mvc(x, y, 2)
+        assert not fam.graph.has_edge(("a1", 1), ("a2", 2))  # bit is one
+        assert fam.graph.has_edge(("a1", 1), ("a2", 1))       # bit is zero
+        assert not fam.graph.has_edge(("b1", 2), ("b2", 1))
+        assert fam.graph.has_edge(("b1", 1), ("b2", 1))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            build_ckp17_mvc(frozenset(), frozenset(), 3)
+
+    def test_threshold_formula(self):
+        assert ckp17_threshold(2) == 4 * 1 + 4 * 1
+        assert ckp17_threshold(8) == 4 * 7 + 4 * 3
+
+
+class TestPredicate:
+    def test_exhaustive_k2(self):
+        """The heart of Theorem 19's requirement: MVC = W iff not DISJ."""
+        W = ckp17_threshold(2)
+        for x, y in all_instances(2):
+            fam = build_ckp17_mvc(x, y, 2)
+            mvc = len(minimum_vertex_cover(fam.graph))
+            assert mvc >= W
+            assert (mvc == W) == (not disj(x, y)), (sorted(x), sorted(y))
+            assert fam.predicate_holds == (not disj(x, y))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sampled_k4(self, seed):
+        W = ckp17_threshold(4)
+        x, y = random_instance(4, seed=seed)
+        fam = build_ckp17_mvc(x, y, 4)
+        mvc = len(minimum_vertex_cover(fam.graph))
+        assert mvc >= W
+        assert (mvc == W) == (not disj(x, y))
+
+    def test_disjoint_dense_k4(self):
+        # Adversarial: x fills rows 1-2, y fills rows 3-4 (disjoint).
+        from repro.lowerbounds.disjointness import positions
+
+        pool = positions(4)
+        x = frozenset(p for p in pool if p[0] <= 2)
+        y = frozenset(p for p in pool if p[0] > 2)
+        assert disj(x, y)
+        fam = build_ckp17_mvc(x, y, 4)
+        assert len(minimum_vertex_cover(fam.graph)) > ckp17_threshold(4)

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["mvc"])
+        assert args.n == 32
+        assert args.model == "congest"
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mvc", "--model", "quantum"])
+
+
+class TestMvcCommand:
+    @pytest.mark.parametrize(
+        "model", ["congest", "clique-det", "clique-rand", "centralized"]
+    )
+    def test_models_run(self, model, capsys):
+        code = main(
+            ["mvc", "--n", "14", "--model", model, "--exact", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cover=" in out
+        assert "ratio" in out
+
+    @pytest.mark.parametrize("kind", ["gnp", "geometric", "tree", "grid"])
+    def test_graph_kinds(self, kind, capsys):
+        code = main(["mvc", "--n", "12", "--graph", kind])
+        assert code == 0
+        assert "cover=" in capsys.readouterr().out
+
+
+class TestMdsCommand:
+    def test_runs(self, capsys):
+        code = main(["mds", "--n", "14", "--exact", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dominating set:" in out
+        assert "phases=" in out
+
+
+class TestGalleryCommand:
+    @pytest.mark.parametrize(
+        "family", ["ckp17", "bcd19", "gap-weighted", "gap-unweighted"]
+    )
+    def test_families_build(self, family, capsys):
+        code = main(["gallery", "--family", family, "--k", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cut=" in out
+        assert "threshold=" in out
+
+
+class TestVerifyCommand:
+    def test_ckp17_verifies(self, capsys):
+        code = main(["verify", "--family", "ckp17", "--k", "2",
+                     "--samples", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3/3 instances verified" in out
+
+    def test_bcd19_verifies(self, capsys):
+        code = main(["verify", "--family", "bcd19", "--k", "2",
+                     "--samples", "3"])
+        assert code == 0
+        assert "3/3" in capsys.readouterr().out
+
+    def test_gap_weighted_verifies(self, capsys):
+        code = main(
+            ["verify", "--family", "gap-weighted", "--samples", "2"]
+        )
+        assert code == 0
+        assert "2/2" in capsys.readouterr().out

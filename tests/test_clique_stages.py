@@ -1,0 +1,122 @@
+"""Unit tests for the CONGESTED CLIQUE building blocks."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest.clique import CongestedCliqueNetwork
+from repro.core.mvc_clique import (
+    DirectUpcastAlgorithm,
+    RandomizedVotingPhaseOne,
+    VerdictScatterAlgorithm,
+)
+from repro.graphs.generators import gnp_graph
+
+
+def _network(graph: nx.Graph, seed: int = 0) -> CongestedCliqueNetwork:
+    net = CongestedCliqueNetwork(graph, seed=seed)
+    net.reset_state()
+    return net
+
+
+class TestDirectUpcast:
+    def test_all_tokens_reach_leader(self):
+        g = gnp_graph(8, 0.3, seed=1)
+        net = _network(g)
+        leader = net.n - 1
+        for node_id in net.ids():
+            net.node_state[node_id]["tokens"] = [(node_id, node_id + 50)]
+        result = net.run(lambda view: DirectUpcastAlgorithm(view, leader))
+        collected = result.by_id[leader]
+        assert sorted(collected) == sorted(
+            (i, i + 50) for i in range(net.n)
+        )
+
+    def test_rounds_bounded_by_max_tokens(self):
+        g = nx.path_graph(10)
+        net = _network(g)
+        leader = net.n - 1
+        for node_id in net.ids():
+            count = 3 if node_id % 2 == 0 else 1
+            net.node_state[node_id]["tokens"] = [
+                (node_id, i) for i in range(count)
+            ]
+        result = net.run(lambda view: DirectUpcastAlgorithm(view, leader))
+        # One token per round per node, plus the DONE flush.
+        assert result.stats.rounds <= 3 + 2
+
+    def test_empty_tokens(self):
+        g = nx.path_graph(5)
+        net = _network(g)
+        leader = net.n - 1
+        result = net.run(lambda view: DirectUpcastAlgorithm(view, leader))
+        assert result.by_id[leader] == []
+
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node("solo")
+        net = _network(g)
+        net.node_state[0]["tokens"] = [(7,)]
+        result = net.run(lambda view: DirectUpcastAlgorithm(view, 0))
+        assert result.by_id[0] == [(7,)]
+
+
+class TestVerdictScatter:
+    def test_everyone_learns_their_bit(self):
+        g = gnp_graph(9, 0.3, seed=2)
+        net = _network(g)
+        leader = net.n - 1
+        cover = {1, 3, 5, leader}
+        result = net.run(
+            lambda view: VerdictScatterAlgorithm(
+                view, leader, cover if view.id == leader else None
+            )
+        )
+        for node_id in net.ids():
+            assert result.by_id[node_id] == (node_id in cover)
+
+    def test_single_round(self):
+        g = nx.path_graph(7)
+        net = _network(g)
+        leader = net.n - 1
+        result = net.run(
+            lambda view: VerdictScatterAlgorithm(
+                view, leader, set() if view.id == leader else None
+            )
+        )
+        assert result.stats.rounds == 1
+
+
+class TestRandomizedVotingUnit:
+    def test_quiescent_start_exits_immediately(self):
+        # With a tiny graph below threshold, no one is ever a candidate:
+        # the global quiescence detection fires in the first phase.
+        g = nx.path_graph(4)
+        net = _network(g)
+        result = net.run(
+            lambda view: RandomizedVotingPhaseOne(view, threshold=8.0, phases=50)
+        )
+        assert result.stats.rounds <= 8
+        assert all(not out["in_S"] for out in result.outputs.values())
+
+    def test_zero_phase_budget_final_status(self):
+        g = nx.path_graph(4)
+        net = _network(g)
+        result = net.run(
+            lambda view: RandomizedVotingPhaseOne(view, threshold=1.0, phases=0)
+        )
+        for node_id in net.ids():
+            assert "tokens" in net.node_state[node_id]
+
+    def test_star_center_wins(self):
+        # The star center has high remaining degree; with threshold 2 it
+        # must eventually win and pull all leaves into the cover.
+        g = nx.star_graph(12)
+        net = _network(g, seed=3)
+        result = net.run(
+            lambda view: RandomizedVotingPhaseOne(view, threshold=2.0, phases=60)
+        )
+        center = net.id_of(0)
+        in_s = {i for i, out in result.by_id.items() if out["in_S"]}
+        assert in_s == set(net.ids()) - {center}

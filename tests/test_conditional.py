@@ -1,0 +1,91 @@
+"""Tests for Theorem 26 / Corollary 27: the G -> H conditional reduction."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.conditional import (
+    attach_dangling_paths,
+    conditional_epsilon,
+    mvc_via_square_reduction,
+)
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import gnp_graph
+from repro.graphs.power import square
+from repro.graphs.validation import is_vertex_cover
+
+
+class TestGadgetGraph:
+    def test_sizes(self):
+        g = gnp_graph(10, 0.3, seed=1)
+        h, info = attach_dangling_paths(g)
+        m = g.number_of_edges()
+        assert info["m"] == m
+        assert h.number_of_nodes() == g.number_of_nodes() + 3 * m
+        # Each gadget contributes 4 edges and removes the original one.
+        assert h.number_of_edges() == 4 * m
+
+    def test_original_edges_removed(self):
+        g = nx.path_graph(4)
+        h, _ = attach_dangling_paths(g)
+        for u, v in g.edges:
+            assert not h.has_edge(u, v)
+
+    def test_square_restores_original_edges(self):
+        g = gnp_graph(9, 0.35, seed=2)
+        h, _ = attach_dangling_paths(g)
+        h2 = square(h)
+        for u, v in g.edges:
+            assert h2.has_edge(u, v)
+
+    def test_square_on_originals_is_exactly_g(self):
+        # H^2 restricted to V(G) equals G: no spurious distance-2 pairs.
+        g = gnp_graph(9, 0.3, seed=3)
+        h, _ = attach_dangling_paths(g)
+        h2 = square(h)
+        originals = set(g.nodes)
+        induced = {
+            frozenset((u, v))
+            for u, v in h2.edges
+            if u in originals and v in originals
+        }
+        assert induced == {frozenset(e) for e in g.edges}
+
+    def test_optimum_shift(self):
+        # OPT(H^2) = OPT(G) + 2m (each gadget pays two).
+        g = gnp_graph(8, 0.35, seed=4)
+        h, info = attach_dangling_paths(g)
+        opt_g = len(minimum_vertex_cover(g))
+        opt_h2 = len(minimum_vertex_cover(square(h)))
+        assert opt_h2 == opt_g + 2 * info["m"]
+
+
+class TestReductionRun:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_projected_cover_feasible(self, seed):
+        g = gnp_graph(10, 0.3, seed=seed)
+        cover, raw = mvc_via_square_reduction(g, 0.25, seed=seed)
+        assert is_vertex_cover(g, cover)
+
+    def test_approximation_transfer(self):
+        # (1+eps) on H^2 with small eps must be near-optimal on G.
+        g = gnp_graph(10, 0.3, seed=7)
+        opt = len(minimum_vertex_cover(g))
+        m = g.number_of_edges()
+        eps = 1.0 / (3 * m)
+        cover, _ = mvc_via_square_reduction(g, eps, seed=7)
+        assert is_vertex_cover(g, cover)
+        # eps < 1/(2m + opt) forces exactness (Theorem 44's arithmetic).
+        assert len(cover) == opt
+
+    def test_edgeless_graph(self):
+        g = nx.empty_graph(4)
+        cover, _ = mvc_via_square_reduction(g, 0.5)
+        assert cover == set()
+
+    def test_conditional_epsilon_formula(self):
+        assert conditional_epsilon(0.5, 100, 200, beta=0.5) == pytest.approx(
+            0.5 * 10 / 600
+        )
+        assert conditional_epsilon(0.3, 10, 0, beta=1.0) == 0.3

@@ -1,0 +1,116 @@
+"""Cross-module property tests: invariants tying the system together."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mvc_congest import approx_mvc_square
+from repro.exact.dominating_set import minimum_dominating_set
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import gnp_graph
+from repro.graphs.power import graph_power, square
+from repro.graphs.validation import is_dominating_set, is_vertex_cover
+
+
+def _connected(n: int, seed: int) -> nx.Graph:
+    return gnp_graph(n, 0.3, seed=seed)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(4, 12), seed=st.integers(0, 30))
+def test_square_cover_covers_g(n, seed):
+    """Any vertex cover of G^2 also covers G (E(G) is a subset)."""
+    g = _connected(n, seed)
+    cover = minimum_vertex_cover(square(g))
+    assert is_vertex_cover(g, cover)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(4, 12), seed=st.integers(0, 30))
+def test_mds_shrinks_on_squares(n, seed):
+    """Domination only gets easier on G^2: MDS(G^2) <= MDS(G)."""
+    g = _connected(n, seed)
+    assert len(minimum_dominating_set(square(g))) <= len(
+        minimum_dominating_set(g)
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(4, 12), seed=st.integers(0, 30))
+def test_mvc_grows_on_squares(n, seed):
+    """Covering only gets harder on G^2: MVC(G^2) >= MVC(G)."""
+    g = _connected(n, seed)
+    assert len(minimum_vertex_cover(square(g))) >= len(
+        minimum_vertex_cover(g)
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(n=st.integers(4, 10), seed=st.integers(0, 20))
+def test_mds_at_most_mvc_plus_isolated(n, seed):
+    """A vertex cover of a graph without isolated vertices dominates it."""
+    g = _connected(n, seed)
+    g.remove_nodes_from([v for v in list(g.nodes) if g.degree(v) == 0])
+    if g.number_of_nodes() == 0:
+        return
+    cover = minimum_vertex_cover(g)
+    if cover:
+        assert is_dominating_set(g, cover)
+    assert len(minimum_dominating_set(g)) <= max(len(cover), 1)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(6, 14),
+    seed=st.integers(0, 20),
+    eps_choice=st.sampled_from([1.0, 0.5, 0.34]),
+)
+def test_algorithm1_randomized_inputs(n, seed, eps_choice):
+    """Algorithm 1 under hypothesis: feasible and within factor, always."""
+    g = _connected(n, seed)
+    sq = square(g)
+    result = approx_mvc_square(g, eps_choice, seed=seed)
+    assert is_vertex_cover(sq, result.cover)
+    opt = len(minimum_vertex_cover(sq))
+    assert len(result.cover) <= (1 + eps_choice) * opt + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(4, 10), seed=st.integers(0, 20), r=st.integers(2, 4))
+def test_power_mvc_monotone_in_r(n, seed, r):
+    """MVC(G^r) is monotone in r (more edges to cover)."""
+    g = _connected(n, seed)
+    smaller = len(minimum_vertex_cover(graph_power(g, r)))
+    larger = len(minimum_vertex_cover(graph_power(g, r + 1)))
+    assert larger >= smaller
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(4, 10), seed=st.integers(0, 20))
+def test_label_permutation_invariance_of_optima(n, seed):
+    """Exact optima are invariant under relabeling (solver sanity)."""
+    g = _connected(n, seed)
+    mapping = {v: f"node-{(v * 7 + 3) % n}-{v}" for v in g.nodes}
+    relabeled = nx.relabel_nodes(g, mapping)
+    assert len(minimum_vertex_cover(g)) == len(
+        minimum_vertex_cover(relabeled)
+    )
+    assert len(minimum_dominating_set(g)) == len(
+        minimum_dominating_set(relabeled)
+    )
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_algorithm1_label_permutation_feasibility(seed):
+    """Symmetry breaking uses ids: any labeling still yields a valid
+    (1+eps)-approximation (the *cover itself* may differ)."""
+    g = gnp_graph(14, 0.3, seed=seed)
+    mapping = {v: (v * 5 + 1) % 14 for v in g.nodes}
+    relabeled = nx.relabel_nodes(g, mapping)
+    sq = square(relabeled)
+    result = approx_mvc_square(relabeled, 0.5, seed=seed)
+    assert is_vertex_cover(sq, result.cover)
+    opt = len(minimum_vertex_cover(sq))
+    assert len(result.cover) <= 1.5 * opt + 1e-9

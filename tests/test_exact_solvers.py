@@ -1,0 +1,218 @@
+"""Tests for the exact MVC/MWVC/MDS/MWDS solvers and baselines."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exact.dominating_set import (
+    dominating_set_brute,
+    minimum_dominating_set,
+    minimum_weighted_dominating_set,
+)
+from repro.exact.greedy import (
+    greedy_dominating_set,
+    greedy_vertex_cover,
+    matching_vertex_cover,
+)
+from repro.exact.matching import (
+    deterministic_maximal_matching,
+    matching_lower_bound,
+)
+from repro.exact.vertex_cover import (
+    minimum_vertex_cover,
+    minimum_weighted_vertex_cover,
+    vertex_cover_brute,
+)
+from repro.graphs.validation import is_dominating_set, is_vertex_cover
+
+
+class TestExactVertexCover:
+    def test_path(self):
+        assert len(minimum_vertex_cover(nx.path_graph(5))) == 2
+
+    def test_cycle(self):
+        assert len(minimum_vertex_cover(nx.cycle_graph(6))) == 3
+        assert len(minimum_vertex_cover(nx.cycle_graph(7))) == 4
+
+    def test_star(self):
+        cover = minimum_vertex_cover(nx.star_graph(9))
+        assert cover == {0}
+
+    def test_complete_graph(self):
+        assert len(minimum_vertex_cover(nx.complete_graph(7))) == 6
+
+    def test_complete_bipartite(self):
+        assert len(minimum_vertex_cover(nx.complete_bipartite_graph(3, 8))) == 3
+
+    def test_edgeless(self):
+        assert minimum_vertex_cover(nx.empty_graph(5)) == set()
+
+    def test_petersen(self):
+        g = nx.petersen_graph()
+        cover = minimum_vertex_cover(g)
+        assert is_vertex_cover(g, cover)
+        assert len(cover) == 6
+
+    def test_weighted_prefers_light_center(self):
+        g = nx.star_graph(4)
+        weights = {0: 100, 1: 1, 2: 1, 3: 1, 4: 1}
+        cover = minimum_weighted_vertex_cover(g, weights)
+        assert cover == {1, 2, 3, 4}
+
+    def test_zero_weight_taken_free(self):
+        g = nx.path_graph(3)
+        weights = {0: 5, 1: 0, 2: 5}
+        cover = minimum_weighted_vertex_cover(g, weights)
+        assert cover == {1}
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_weighted_vertex_cover(nx.path_graph(3), {0: -1, 1: 1, 2: 1})
+
+    def test_weight_attribute_default(self):
+        g = nx.path_graph(3)
+        g.nodes[1]["weight"] = 0.5
+        cover = minimum_weighted_vertex_cover(g)
+        assert cover == {1}
+
+
+class TestExactDominatingSet:
+    def test_path(self):
+        assert len(minimum_dominating_set(nx.path_graph(6))) == 2
+
+    def test_star(self):
+        assert minimum_dominating_set(nx.star_graph(8)) == {0}
+
+    def test_cycle(self):
+        assert len(minimum_dominating_set(nx.cycle_graph(9))) == 3
+
+    def test_complete(self):
+        assert len(minimum_dominating_set(nx.complete_graph(5))) == 1
+
+    def test_isolated_vertices_forced(self):
+        g = nx.empty_graph(3)
+        assert minimum_dominating_set(g) == {0, 1, 2}
+
+    def test_empty_graph(self):
+        assert minimum_dominating_set(nx.Graph()) == set()
+
+    def test_weighted_avoids_heavy_center(self):
+        g = nx.star_graph(3)
+        weights = {0: 10, 1: 1, 2: 1, 3: 1}
+        ds = minimum_weighted_dominating_set(g, weights)
+        assert is_dominating_set(g, ds)
+        assert sum(weights[v] for v in ds) == 3
+
+    def test_zero_weight_dominators_free(self):
+        g = nx.path_graph(5)
+        weights = {v: 0 if v == 2 else 3 for v in g.nodes}
+        ds = minimum_weighted_dominating_set(g, weights)
+        assert 2 in ds
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_weighted_dominating_set(nx.path_graph(3), {0: -2, 1: 1, 2: 1})
+
+
+class TestBruteLimits:
+    def test_vc_brute_rejects_large(self):
+        with pytest.raises(ValueError):
+            vertex_cover_brute(nx.path_graph(30))
+
+    def test_ds_brute_rejects_large(self):
+        with pytest.raises(ValueError):
+            dominating_set_brute(nx.path_graph(30))
+
+
+class TestBaselines:
+    def test_matching_is_matching(self, medium_connected):
+        matching = deterministic_maximal_matching(medium_connected)
+        seen = set()
+        for edge in matching:
+            assert not edge & seen
+            seen |= edge
+
+    def test_matching_is_maximal(self, medium_connected):
+        matching = deterministic_maximal_matching(medium_connected)
+        matched = {v for e in matching for v in e}
+        for u, v in medium_connected.edges:
+            assert u in matched or v in matched
+
+    def test_matching_cover_two_approx(self, medium_connected):
+        cover = matching_vertex_cover(medium_connected)
+        assert is_vertex_cover(medium_connected, cover)
+        opt = len(minimum_vertex_cover(medium_connected))
+        assert len(cover) <= 2 * opt
+
+    def test_matching_lower_bound_valid(self, medium_connected):
+        adj = {v: set(medium_connected.neighbors(v)) for v in medium_connected}
+        lb = matching_lower_bound(adj)
+        assert lb <= len(minimum_vertex_cover(medium_connected))
+
+    def test_greedy_cover_feasible(self, medium_connected):
+        assert is_vertex_cover(
+            medium_connected, greedy_vertex_cover(medium_connected)
+        )
+
+    def test_greedy_ds_feasible(self, medium_connected):
+        assert is_dominating_set(
+            medium_connected, greedy_dominating_set(medium_connected)
+        )
+
+    def test_greedy_ds_weighted(self):
+        g = nx.star_graph(5)
+        weights = {v: 100 if v == 0 else 1 for v in g.nodes}
+        ds = greedy_dominating_set(g, weights)
+        assert is_dominating_set(g, ds)
+
+
+@settings(max_examples=35, deadline=None)
+@given(n=st.integers(3, 11), seed=st.integers(0, 60))
+def test_exact_vc_matches_brute(n, seed):
+    g = nx.gnp_random_graph(n, 0.4, seed=seed)
+    assert len(minimum_vertex_cover(g)) == len(vertex_cover_brute(g))
+
+
+@settings(max_examples=35, deadline=None)
+@given(n=st.integers(2, 10), seed=st.integers(0, 60))
+def test_exact_ds_matches_brute(n, seed):
+    g = nx.gnp_random_graph(n, 0.35, seed=seed)
+    assert len(minimum_dominating_set(g)) == len(dominating_set_brute(g))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(3, 9),
+    seed=st.integers(0, 40),
+    wseed=st.integers(0, 10),
+)
+def test_weighted_vc_matches_brute(n, seed, wseed):
+    import random as _random
+
+    g = nx.gnp_random_graph(n, 0.45, seed=seed)
+    rng = _random.Random(wseed)
+    weights = {v: rng.randint(0, 8) for v in g.nodes}
+    ours = minimum_weighted_vertex_cover(g, weights)
+    brute = vertex_cover_brute(g, weights)
+    assert is_vertex_cover(g, ours)
+    assert sum(weights[v] for v in ours) == sum(weights[v] for v in brute)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 9),
+    seed=st.integers(0, 40),
+    wseed=st.integers(0, 10),
+)
+def test_weighted_ds_matches_brute(n, seed, wseed):
+    import random as _random
+
+    g = nx.gnp_random_graph(n, 0.4, seed=seed)
+    rng = _random.Random(wseed)
+    weights = {v: rng.randint(0, 8) for v in g.nodes}
+    ours = minimum_weighted_dominating_set(g, weights)
+    brute = dominating_set_brute(g, weights)
+    assert is_dominating_set(g, ours)
+    assert sum(weights[v] for v in ours) == sum(weights[v] for v in brute)

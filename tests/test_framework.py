@@ -1,0 +1,140 @@
+"""Tests for set disjointness and the Definition 18 / Theorem 19 framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lowerbounds.ckp17 import build_ckp17_mvc
+from repro.lowerbounds.disjointness import (
+    all_instances,
+    disj,
+    disjointness_cc_bound,
+    positions,
+    random_instance,
+)
+from repro.lowerbounds.framework import (
+    LowerBoundFamily,
+    implied_round_lower_bound,
+    verify_side_independence,
+)
+
+
+class TestDisjointness:
+    def test_empty_inputs_disjoint(self):
+        assert disj(frozenset(), frozenset())
+
+    def test_common_position_not_disjoint(self):
+        assert not disj(frozenset({(1, 1)}), frozenset({(1, 1), (2, 2)}))
+
+    def test_distinct_positions_disjoint(self):
+        assert disj(frozenset({(1, 1)}), frozenset({(1, 2)}))
+
+    def test_positions_count(self):
+        assert len(positions(4)) == 16
+
+    def test_all_instances_k2(self):
+        pairs = list(all_instances(2))
+        assert len(pairs) == 2 ** 4 * 2 ** 4
+
+    def test_random_instance_deterministic(self):
+        assert random_instance(4, seed=1) == random_instance(4, seed=1)
+        assert random_instance(4, seed=1) != random_instance(4, seed=2)
+
+    def test_cc_bound(self):
+        assert disjointness_cc_bound(8) == 64
+
+
+class TestFamilyContainer:
+    def test_partition_enforced(self):
+        import networkx as nx
+
+        g = nx.path_graph(4)
+        with pytest.raises(ValueError):
+            LowerBoundFamily(
+                graph=g,
+                alice={0, 1},
+                bob={1, 2, 3},
+                x=frozenset(),
+                y=frozenset(),
+                k=2,
+                threshold=1,
+                predicate_holds=True,
+                description="bad",
+            )
+
+    def test_cut_edges_cross_partition(self):
+        x, y = random_instance(2, seed=3)
+        fam = build_ckp17_mvc(x, y, 2)
+        for u, v in fam.cut_edges:
+            assert (u in fam.alice) != (v in fam.alice)
+
+    def test_side_subgraphs(self):
+        x, y = random_instance(2, seed=4)
+        fam = build_ckp17_mvc(x, y, 2)
+        a_side = fam.side_subgraph("alice")
+        assert set(a_side.nodes) == fam.alice
+
+
+class TestTheorem19:
+    def test_round_bound_formula(self):
+        # k^2 bits over c log(n) capacity.
+        assert implied_round_lower_bound(64, cut_size=4, n=16) == 64 / (4 * 4)
+
+    def test_zero_cut_rejected(self):
+        with pytest.raises(ValueError):
+            implied_round_lower_bound(10, cut_size=0, n=4)
+
+    def test_bound_grows_quadratically(self):
+        # With cut O(log k) and n = Theta(k), the bound is ~ k^2/log^2 k.
+        import math
+
+        bounds = []
+        for k in (4, 8, 16):
+            cut = 4 * int(math.log2(k))
+            n = 4 * k + 8 * int(math.log2(k))
+            bounds.append(implied_round_lower_bound(k * k, cut, n))
+        assert bounds[0] < bounds[1] < bounds[2]
+        # Superlinear growth in k (quadratic over polylog).
+        assert bounds[2] / bounds[1] > 1.9
+
+
+class TestSideIndependence:
+    def test_ckp17_sides_depend_only_on_own_input(self):
+        samples = [random_instance(2, seed=s) for s in range(6)]
+        # Include pairs that share x (or y) across different partners.
+        x0, y0 = samples[0]
+        samples.append((x0, samples[1][1]))
+        samples.append((samples[2][0], y0))
+        verify_side_independence(lambda x, y: build_ckp17_mvc(x, y, 2), samples)
+
+    def test_violation_detected(self):
+        # A builder that leaks y into Alice's side must be caught.
+        import networkx as nx
+
+        def cheating_builder(x, y):
+            g = nx.Graph()
+            g.add_edge("a1", "a2")
+            g.add_edge("b1", "b2")
+            g.add_edge("a1", "b1")
+            if y:
+                g.add_edge("a1", "a3")
+            else:
+                g.add_node("a3")
+            return LowerBoundFamily(
+                graph=g,
+                alice={"a1", "a2", "a3"},
+                bob={"b1", "b2"},
+                x=x,
+                y=y,
+                k=2,
+                threshold=1,
+                predicate_holds=True,
+                description="cheater",
+            )
+
+        x = frozenset({(1, 1)})
+        with pytest.raises(AssertionError, match="Alice"):
+            verify_side_independence(
+                cheating_builder,
+                [(x, frozenset()), (x, frozenset({(1, 1)}))],
+            )

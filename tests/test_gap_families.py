@@ -1,0 +1,151 @@
+"""Tests for the constant-gap MDS families (Theorems 35 and 41)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exact.dominating_set import (
+    minimum_dominating_set,
+    minimum_weighted_dominating_set,
+)
+from repro.graphs.power import square
+from repro.lowerbounds.disjointness import disj
+from repro.lowerbounds.framework import verify_side_independence
+from repro.lowerbounds.mds_square_gap import (
+    GapConstructionParams,
+    build_gap_family,
+)
+
+
+@pytest.fixture(scope="module")
+def params() -> GapConstructionParams:
+    return GapConstructionParams(
+        num_sets=3, universe_size=4, r_cov=2, element_weight=10, seed=0
+    )
+
+
+HIT = frozenset({(1, 1)})
+HIT2 = frozenset({(2, 3)})
+MISS_X = frozenset({(1, 1), (2, 2)})
+MISS_Y = frozenset({(1, 2), (2, 1)})
+EMPTY = frozenset()
+
+
+class TestParams:
+    def test_sets_are_verified(self, params):
+        assert len(params.sets) == 3
+
+    def test_rejects_tiny_t(self):
+        with pytest.raises(ValueError):
+            GapConstructionParams(num_sets=2)
+
+    def test_rejects_bad_sets(self):
+        with pytest.raises(ValueError):
+            GapConstructionParams(
+                num_sets=3,
+                universe_size=4,
+                r_cov=2,
+                sets=[
+                    frozenset({1, 2}),
+                    frozenset({3, 4}),
+                    frozenset({1, 3}),
+                ],
+            )
+
+    def test_rejects_oversized_inputs(self, params):
+        with pytest.raises(ValueError):
+            build_gap_family(frozenset({(9, 9)}), EMPTY, params)
+
+
+class TestWeightedGap:
+    """Theorem 35: weight 6 iff not DISJ, else at least 7."""
+
+    def _opt_weight(self, x, y, params):
+        fam = build_gap_family(x, y, params, weighted=True)
+        weights = fam.extra["weights"]
+        ds = minimum_weighted_dominating_set(square(fam.graph), weights)
+        return sum(weights[v] for v in ds)
+
+    @pytest.mark.parametrize("x,y", [(HIT, HIT), (HIT2, HIT2)])
+    def test_intersecting_weight_six(self, x, y, params):
+        assert self._opt_weight(x, y, params) == 6
+
+    @pytest.mark.parametrize(
+        "x,y",
+        [(MISS_X, MISS_Y), (EMPTY, EMPTY), (HIT, frozenset({(1, 2)}))],
+    )
+    def test_disjoint_weight_at_least_seven(self, x, y, params):
+        assert disj(x, y)
+        assert self._opt_weight(x, y, params) >= 7
+
+    def test_mixed_dense(self, params):
+        x = frozenset({(1, 1), (1, 2), (2, 1), (3, 3)})
+        y = frozenset({(2, 2), (3, 3)})
+        assert not disj(x, y)
+        assert self._opt_weight(x, y, params) == 6
+
+    def test_cut_is_element_pairs_only(self, params):
+        fam = build_gap_family(HIT, HIT, params, weighted=True)
+        assert fam.cut_size == 2 * params.universe_size
+
+    def test_zero_weight_tails(self, params):
+        fam = build_gap_family(HIT, HIT, params, weighted=True)
+        weights = fam.extra["weights"]
+        assert weights[("Astar", 3)] == 0
+        assert weights[("Bstar", 3)] == 0
+        assert weights[("alpha", 1)] == params.element_weight
+
+
+class TestUnweightedGap:
+    """Theorem 41: size 8 iff not DISJ, else at least 9."""
+
+    def _opt_size(self, x, y, params):
+        fam = build_gap_family(x, y, params, weighted=False)
+        return len(minimum_dominating_set(square(fam.graph)))
+
+    @pytest.mark.parametrize("x,y", [(HIT, HIT), (HIT2, HIT2)])
+    def test_intersecting_size_eight(self, x, y, params):
+        assert self._opt_size(x, y, params) == 8
+
+    @pytest.mark.parametrize(
+        "x,y",
+        [(MISS_X, MISS_Y), (EMPTY, EMPTY), (HIT, frozenset({(1, 2)}))],
+    )
+    def test_disjoint_size_at_least_nine(self, x, y, params):
+        assert disj(x, y)
+        assert self._opt_size(x, y, params) >= 9
+
+    def test_q_vertices_present(self, params):
+        fam = build_gap_family(HIT, HIT, params, weighted=False)
+        assert ("q", 1) in fam.graph.nodes
+        assert fam.graph.has_edge(("q", 1), ("S", 1))
+        assert fam.graph.has_edge(("q", 1), ("Astar", 3))
+
+    def test_no_hubs_in_unweighted(self, params):
+        fam = build_gap_family(HIT, HIT, params, weighted=False)
+        assert ("alpha_hub",) not in fam.graph.nodes
+
+    def test_all_weights_one(self, params):
+        fam = build_gap_family(HIT, HIT, params, weighted=False)
+        assert set(fam.extra["weights"].values()) == {1}
+
+
+class TestStructure:
+    def test_side_independence(self, params):
+        samples = [
+            (HIT, HIT),
+            (HIT, frozenset({(1, 2)})),
+            (MISS_X, MISS_Y),
+            (MISS_X, HIT),
+        ]
+        verify_side_independence(
+            lambda x, y: build_gap_family(x, y, params, weighted=True), samples
+        )
+
+    def test_gap_ratio_matches_paper(self, params):
+        # 7/6 (weighted) and 9/8 (unweighted) are exactly the
+        # approximation factors Theorems 35/41 rule out.
+        fam_w = build_gap_family(HIT, HIT, params, weighted=True)
+        assert (fam_w.threshold + 1) / fam_w.threshold == pytest.approx(7 / 6)
+        fam_u = build_gap_family(HIT, HIT, params, weighted=False)
+        assert (fam_u.threshold + 1) / fam_u.threshold == pytest.approx(9 / 8)

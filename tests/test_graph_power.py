@@ -1,0 +1,167 @@
+"""Tests for graph powers (the problem domain itself)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.power import (
+    graph_power,
+    induced_square_subgraph,
+    is_power_edge,
+    power_edges,
+    square,
+    two_hop_neighbors,
+)
+
+
+def _random_graph(n: int, edge_seed: int) -> nx.Graph:
+    return nx.gnp_random_graph(n, 0.3, seed=edge_seed)
+
+
+class TestSquareBasics:
+    def test_path_square_edges(self):
+        sq = square(nx.path_graph(5))
+        assert sq.has_edge(0, 1)
+        assert sq.has_edge(0, 2)
+        assert not sq.has_edge(0, 3)
+        assert not sq.has_edge(0, 4)
+
+    def test_square_contains_original_edges(self):
+        g = _random_graph(12, 1)
+        sq = square(g)
+        for u, v in g.edges:
+            assert sq.has_edge(u, v)
+
+    def test_star_square_is_complete(self):
+        sq = square(nx.star_graph(6))
+        n = sq.number_of_nodes()
+        assert sq.number_of_edges() == n * (n - 1) // 2
+
+    def test_cycle_square(self):
+        sq = square(nx.cycle_graph(6))
+        assert sq.has_edge(0, 2)
+        assert not sq.has_edge(0, 3)
+        assert sq.degree(0) == 4
+
+    def test_power_one_is_identity(self):
+        g = _random_graph(10, 2)
+        p1 = graph_power(g, 1)
+        assert set(map(frozenset, p1.edges)) == set(map(frozenset, g.edges))
+
+    def test_power_zero_rejected(self):
+        with pytest.raises(ValueError):
+            graph_power(nx.path_graph(3), 0)
+
+    def test_large_power_is_component_clique(self):
+        g = nx.path_graph(7)
+        p = graph_power(g, 6)
+        assert p.number_of_edges() == 7 * 6 // 2
+
+    def test_node_attributes_preserved(self):
+        g = nx.path_graph(3)
+        g.nodes[0]["weight"] = 7
+        sq = square(g)
+        assert sq.nodes[0]["weight"] == 7
+
+    def test_disconnected_graph_power(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        sq = square(g)
+        assert sq.has_edge(0, 1)
+        assert not sq.has_edge(1, 2)
+
+
+class TestTwoHop:
+    def test_two_hop_excludes_self(self, path5):
+        assert 2 not in two_hop_neighbors(path5, 2)
+
+    def test_two_hop_path(self, path5):
+        assert two_hop_neighbors(path5, 0) == {1, 2}
+        assert two_hop_neighbors(path5, 2) == {0, 1, 3, 4}
+
+    def test_two_hop_isolated(self):
+        g = nx.Graph()
+        g.add_node(0)
+        assert two_hop_neighbors(g, 0) == set()
+
+
+class TestIsPowerEdge:
+    def test_direct_edge(self, path5):
+        assert is_power_edge(path5, 0, 1, r=2)
+
+    def test_two_hop_edge(self, path5):
+        assert is_power_edge(path5, 0, 2, r=2)
+
+    def test_too_far(self, path5):
+        assert not is_power_edge(path5, 0, 4, r=2)
+
+    def test_self_is_not_edge(self, path5):
+        assert not is_power_edge(path5, 3, 3, r=2)
+
+    def test_disconnected_pair(self):
+        g = nx.Graph()
+        g.add_node(0)
+        g.add_node(1)
+        assert not is_power_edge(g, 0, 1, r=5)
+
+
+class TestInducedSquareSubgraph:
+    def test_middle_vertex_outside_subset(self):
+        # 0-1-2: square edge {0,2} must survive even when 1 is excluded.
+        g = nx.path_graph(3)
+        sub = induced_square_subgraph(g, [0, 2])
+        assert sub.has_edge(0, 2)
+
+    def test_matches_square_restriction(self):
+        g = _random_graph(12, 3)
+        subset = [v for v in g.nodes if v % 2 == 0]
+        sub = induced_square_subgraph(g, subset)
+        sq = square(g)
+        expected = {
+            frozenset((u, v))
+            for u, v in sq.edges
+            if u in set(subset) and v in set(subset)
+        }
+        assert set(map(frozenset, sub.edges)) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(4, 12), seed=st.integers(0, 50))
+def test_square_edges_match_distance(n, seed):
+    g = nx.gnp_random_graph(n, 0.3, seed=seed)
+    sq = square(g)
+    lengths = dict(nx.all_pairs_shortest_path_length(g, cutoff=2))
+    for u in g.nodes:
+        for v in g.nodes:
+            if u == v:
+                continue
+            expected = v in lengths.get(u, {}) and lengths[u][v] <= 2
+            assert sq.has_edge(u, v) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(3, 10), seed=st.integers(0, 30), r=st.integers(1, 4))
+def test_power_monotone_in_r(n, seed, r):
+    g = nx.gnp_random_graph(n, 0.25, seed=seed)
+    smaller = graph_power(g, r)
+    larger = graph_power(g, r + 1)
+    assert set(map(frozenset, smaller.edges)) <= set(map(frozenset, larger.edges))
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(3, 9), seed=st.integers(0, 30))
+def test_square_of_square_is_fourth_power(n, seed):
+    g = nx.gnp_random_graph(n, 0.3, seed=seed)
+    twice = square(square(g))
+    fourth = graph_power(g, 4)
+    assert set(map(frozenset, twice.edges)) == set(map(frozenset, fourth.edges))
+
+
+def test_power_edges_no_duplicates():
+    g = nx.cycle_graph(8)
+    edges = list(power_edges(g, 2))
+    keys = [frozenset(e) for e in edges]
+    assert len(keys) == len(set(keys))

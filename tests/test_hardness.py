@@ -1,0 +1,122 @@
+"""Tests for the centralized reductions (Theorems 44-45)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import gnp_graph
+from repro.graphs.power import square
+from repro.graphs.validation import is_vertex_cover
+from repro.hardness.reductions import (
+    fptas_refuting_epsilon,
+    mds_square_reduction,
+    mvc_square_reduction,
+    recover_exact_mvc_via_square,
+    verify_mds_reduction,
+    verify_mvc_reduction,
+)
+
+
+class TestMvcReduction:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_shift_identity(self, seed):
+        g = gnp_graph(9, 0.35, seed=seed)
+        got, expected, ok = verify_mvc_reduction(g)
+        assert ok, (got, expected)
+
+    def test_shift_on_structured(self):
+        for builder in (
+            lambda: nx.path_graph(8),
+            lambda: nx.cycle_graph(7),
+            lambda: nx.star_graph(6),
+            lambda: nx.complete_graph(5),
+        ):
+            got, expected, ok = verify_mvc_reduction(builder())
+            assert ok
+
+    def test_polynomial_size(self):
+        g = gnp_graph(10, 0.4, seed=1)
+        h, _ = mvc_square_reduction(g)
+        assert h.number_of_nodes() == 10 + 3 * g.number_of_edges()
+
+    def test_epsilon_choice(self):
+        g = nx.cycle_graph(6)
+        assert fptas_refuting_epsilon(g) == 1.0 / 18
+
+    def test_edgeless_epsilon(self):
+        assert fptas_refuting_epsilon(nx.empty_graph(3)) == 1.0
+
+
+class TestNoFptasArgument:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_recovery_is_exact(self, seed):
+        """A (1+eps)-scheme at eps = 1/(3m) would solve MVC exactly."""
+        g = gnp_graph(8, 0.35, seed=seed)
+
+        def perfect_scheme(h, eps):
+            # Stand-in for the hypothetical FPTAS: an exact solver
+            # trivially meets the (1+eps) contract.
+            return minimum_vertex_cover(square(h))
+
+        recovered = recover_exact_mvc_via_square(g, perfect_scheme)
+        assert is_vertex_cover(g, recovered)
+        assert len(recovered) == len(minimum_vertex_cover(g))
+
+    def test_recovery_with_slightly_suboptimal_scheme(self):
+        # Even a cover one-off from optimal on H^2 projects to an exact
+        # or one-off cover of G; with eps = 1/(3m) the paper's arithmetic
+        # says the scheme cannot afford even that single extra vertex.
+        g = gnp_graph(8, 0.3, seed=9)
+        opt = len(minimum_vertex_cover(g))
+
+        def padded_scheme(h, eps):
+            base = minimum_vertex_cover(square(h))
+            # This violates the (1+eps) contract, so recovery may exceed
+            # the optimum - by exactly the padding.
+            extra = next(v for v in g.nodes if v not in base)
+            return base | {extra}
+
+        recovered = recover_exact_mvc_via_square(g, padded_scheme)
+        assert len(recovered) <= opt + 1
+
+
+class TestMdsReduction:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_shift_identity(self, seed):
+        g = gnp_graph(9, 0.3, seed=seed + 10)
+        got, expected, ok = verify_mds_reduction(g)
+        assert ok, (got, expected)
+
+    def test_merged_gadget_shape(self):
+        g = nx.path_graph(4)
+        h, info = mds_square_reduction(g)
+        tail3, tail4, tail5 = info["tail"]
+        assert h.has_edge(tail3, tail4)
+        assert h.has_edge(tail4, tail5)
+        for head in info["heads"].values():
+            assert h.degree(head) == 3  # u, v, and its mid vertex
+
+    def test_single_gadget_tail_suffices(self):
+        # MDS(H^2) = MDS(G) + 1 regardless of edge count: the merged tail
+        # contributes exactly one.
+        for n, p, seed in [(6, 0.5, 1), (9, 0.25, 2), (7, 0.6, 3)]:
+            g = gnp_graph(n, p, seed=seed)
+            got, expected, ok = verify_mds_reduction(g)
+            assert ok
+
+    def test_edgeless_graph(self):
+        g = nx.empty_graph(3)
+        got, expected, ok = verify_mds_reduction(g)
+        assert ok
+        assert got == 3  # every isolated vertex dominates itself
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(4, 9), seed=st.integers(0, 30))
+def test_reductions_on_random_graphs(n, seed):
+    g = nx.gnp_random_graph(n, 0.4, seed=seed)
+    assert verify_mvc_reduction(g)[2]
+    assert verify_mds_reduction(g)[2]

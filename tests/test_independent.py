@@ -1,0 +1,82 @@
+"""Tests for MIS helpers and the cover-complement duality."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.trivial import independent_set_upper_bound
+from repro.exact.independent import (
+    greedy_mis,
+    is_independent_set,
+    is_maximal_independent_set,
+    maximum_independent_set,
+    mis_complement_cover,
+)
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import gnp_graph
+from repro.graphs.power import graph_power
+from repro.graphs.validation import is_vertex_cover
+
+
+class TestGreedyMis:
+    def test_star_center_first(self):
+        g = nx.star_graph(5)
+        mis = greedy_mis(g, order=[0, 1, 2, 3, 4, 5])
+        assert mis == {0}
+
+    def test_star_leaves_first(self):
+        g = nx.star_graph(5)
+        mis = greedy_mis(g, order=[1, 2, 3, 4, 5, 0])
+        assert mis == {1, 2, 3, 4, 5}
+
+    def test_result_is_maximal(self, medium_connected):
+        mis = greedy_mis(medium_connected)
+        assert is_maximal_independent_set(medium_connected, mis)
+
+    def test_complement_is_cover(self, medium_connected):
+        mis = greedy_mis(medium_connected)
+        cover = mis_complement_cover(medium_connected, mis)
+        assert is_vertex_cover(medium_connected, cover)
+
+    def test_empty_graph(self):
+        assert greedy_mis(nx.Graph()) == set()
+
+
+class TestValidators:
+    def test_independent_detects_edge(self):
+        g = nx.path_graph(3)
+        assert is_independent_set(g, {0, 2})
+        assert not is_independent_set(g, {0, 1})
+
+    def test_maximality_detects_extension(self):
+        g = nx.path_graph(5)
+        assert not is_maximal_independent_set(g, {0})
+        assert is_maximal_independent_set(g, {0, 2, 4})
+
+
+class TestMaximumIndependentSet:
+    def test_duality_with_mvc(self, small_connected):
+        mis = maximum_independent_set(small_connected)
+        mvc = minimum_vertex_cover(small_connected)
+        n = small_connected.number_of_nodes()
+        assert len(mis) + len(mvc) == n
+        assert is_independent_set(small_connected, mis)
+
+    @pytest.mark.parametrize("r", [2, 3, 4])
+    def test_lemma6_bound_on_powers(self, r):
+        # |MIS(G^r)| < n / (floor(r/2) + 1) for connected G.
+        g = gnp_graph(15, 0.2, seed=r)
+        power = graph_power(g, r)
+        mis = maximum_independent_set(power)
+        assert len(mis) <= independent_set_upper_bound(g, r)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(2, 10), seed=st.integers(0, 40))
+def test_greedy_mis_always_maximal(n, seed):
+    g = nx.gnp_random_graph(n, 0.35, seed=seed)
+    mis = greedy_mis(g)
+    assert is_maximal_independent_set(g, mis)
+    assert is_vertex_cover(g, mis_complement_cover(g, mis))

@@ -1,0 +1,108 @@
+"""Cross-module integration tests: whole-paper scenarios."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest.network import CongestNetwork
+from repro.core.mvc_congest import approx_mvc_square
+from repro.core.mds_congest import approx_mds_square
+from repro.core.mvc_centralized import cover_square_instance
+from repro.exact.dominating_set import minimum_dominating_set
+from repro.exact.greedy import greedy_dominating_set
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import random_geometric, workload_suite
+from repro.graphs.power import square
+from repro.graphs.validation import is_dominating_set, is_vertex_cover
+from repro.lowerbounds.ckp17 import build_ckp17_mvc
+from repro.lowerbounds.disjointness import random_instance
+
+
+class TestWholeSuite:
+    def test_mvc_across_workload_suite(self):
+        for name, g in workload_suite("tiny", seed=2):
+            sq = square(g)
+            result = approx_mvc_square(g, 0.5, seed=1)
+            assert is_vertex_cover(sq, result.cover), name
+            opt = len(minimum_vertex_cover(sq))
+            assert len(result.cover) <= 1.5 * opt + 1e-9, name
+
+    def test_mds_across_workload_suite(self):
+        for name, g in workload_suite("tiny", seed=3):
+            sq = square(g)
+            result = approx_mds_square(g, seed=1)
+            assert is_dominating_set(sq, result.cover), name
+
+
+class TestRadioNetworkScenario:
+    """The paper's motivation: interference-aware problems live on G^2."""
+
+    def test_gateway_placement(self):
+        g = random_geometric(30, seed=8)
+        sq = square(g)
+        distributed = approx_mds_square(g, seed=8)
+        centralized = greedy_dominating_set(sq)
+        assert is_dominating_set(sq, distributed.cover)
+        assert is_dominating_set(sq, centralized)
+        opt = len(minimum_dominating_set(sq))
+        assert len(distributed.cover) <= 6 * max(opt, 1)
+
+    def test_conflict_free_scheduling_cover(self):
+        g = random_geometric(28, seed=9)
+        sq = square(g)
+        result = approx_mvc_square(g, 0.5, seed=9)
+        independent = set(g.nodes) - result.cover
+        # The complement of a square cover is a 2-hop independent set:
+        # no two of them interfere even through a common neighbor.
+        for u in independent:
+            for v in independent:
+                if u != v:
+                    assert not sq.has_edge(u, v)
+
+
+class TestAliceBobTrafficMeter:
+    """Theorem 19's premise: solving the predicate moves bits over the cut."""
+
+    def test_algorithm_traffic_crosses_cut(self):
+        x, y = random_instance(4, seed=5)
+        fam = build_ckp17_mvc(x, y, 4)
+        net = CongestNetwork(fam.graph, cut=fam.cut_edges, seed=5)
+        result = approx_mvc_square(fam.graph, 0.5, network=net)
+        assert is_vertex_cover(square(fam.graph), result.cover)
+        assert result.stats.cut_words > 0
+
+    def test_exact_solution_on_family_is_traffic_bounded(self):
+        x, y = random_instance(2, seed=6)
+        fam = build_ckp17_mvc(x, y, 2)
+        net = CongestNetwork(fam.graph, cut=fam.cut_edges, seed=6)
+        result = approx_mvc_square(fam.graph, 0.25, network=net)
+        max_per_round = fam.cut_size * 2 * net.word_limit
+        assert result.stats.cut_words <= result.stats.rounds * max_per_round
+
+
+class TestLeaderPluggability:
+    def test_five_thirds_leader_on_big_residual(self):
+        # Large epsilon leaves a big residual; the 5/3 solver keeps the
+        # whole pipeline polynomial (Corollary 17's point).
+        g = random_geometric(26, seed=10)
+        sq = square(g)
+
+        def local_53(residual, red):
+            cover, _ = cover_square_instance(residual)
+            return cover
+
+        result = approx_mvc_square(g, 0.5, local_solver=local_53, seed=10)
+        assert is_vertex_cover(sq, result.cover)
+        opt = len(minimum_vertex_cover(sq))
+        assert len(result.cover) <= (5 / 3) * opt + 1e-9
+
+
+class TestGrowthSanity:
+    def test_rounds_grow_with_n_in_congest(self):
+        rounds = []
+        for n in (16, 32, 64):
+            g = nx.path_graph(n)
+            result = approx_mvc_square(g, 0.5)
+            rounds.append(result.stats.rounds)
+        assert rounds[0] < rounds[1] < rounds[2]

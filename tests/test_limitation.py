@@ -1,0 +1,60 @@
+"""Tests for Lemma 25: the small-cut two-party protocol."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.power import square
+from repro.graphs.validation import is_vertex_cover
+from repro.lowerbounds.ckp17 import build_ckp17_mvc
+from repro.lowerbounds.disjointness import random_instance
+from repro.lowerbounds.limitation import two_party_cover_protocol
+from repro.lowerbounds.mvc_square import build_mvc_square_family
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_protocol_cover_feasible(seed):
+    x, y = random_instance(4, seed=seed)
+    fam = build_ckp17_mvc(x, y, 4)
+    outcome = two_party_cover_protocol(fam)
+    assert is_vertex_cover(square(fam.graph), outcome.cover)
+
+
+def test_protocol_communication_logarithmic():
+    x, y = random_instance(4, seed=1)
+    fam = build_ckp17_mvc(x, y, 4)
+    outcome = two_party_cover_protocol(fam)
+    n = fam.graph.number_of_nodes()
+    assert outcome.bits_exchanged <= 2 * math.ceil(math.log2(n + 1))
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_protocol_ratio_small(k):
+    # Cut o(n) + optimum >= n/2 (Lemma 6) => ratio 1 + o(1).
+    x, y = random_instance(k, seed=2)
+    fam = build_ckp17_mvc(x, y, k)
+    outcome = two_party_cover_protocol(fam)
+    sq = square(fam.graph)
+    opt = len(minimum_vertex_cover(sq))
+    n = fam.graph.number_of_nodes()
+    ratio = len(outcome.cover) / opt
+    assert ratio <= 1 + 2 * len(outcome.cut_vertices) / n + 0.05
+
+
+def test_protocol_on_squared_family():
+    x, y = random_instance(2, seed=3)
+    fam = build_mvc_square_family(x, y, 2)
+    outcome = two_party_cover_protocol(fam)
+    assert is_vertex_cover(square(fam.graph), outcome.cover)
+
+
+def test_local_pieces_disjoint_from_cut():
+    x, y = random_instance(2, seed=4)
+    fam = build_ckp17_mvc(x, y, 2)
+    outcome = two_party_cover_protocol(fam)
+    assert not outcome.alice_local & outcome.cut_vertices
+    assert not outcome.bob_local & outcome.cut_vertices
+    assert not outcome.alice_local & outcome.bob_local

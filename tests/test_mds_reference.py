@@ -1,0 +1,69 @@
+"""Tests for the sequential reference MDS pipeline."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.mds_reference import reference_mds_square
+from repro.exact.dominating_set import minimum_dominating_set
+from repro.graphs.generators import gnp_graph, random_geometric, random_tree
+from repro.graphs.power import square
+from repro.graphs.validation import is_dominating_set
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dominating(self, seed):
+        g = gnp_graph(18, 0.2, seed=seed)
+        ds, _ = reference_mds_square(g, seed=seed)
+        assert is_dominating_set(square(g), ds)
+
+    def test_tree(self):
+        g = random_tree(22, seed=2)
+        ds, _ = reference_mds_square(g, seed=2)
+        assert is_dominating_set(square(g), ds)
+
+    def test_star_one_winner(self):
+        g = nx.star_graph(9)
+        ds, detail = reference_mds_square(g, seed=1)
+        assert is_dominating_set(square(g), ds)
+        assert len(ds) <= 2
+        assert detail["phases"][0]["winners"] >= 1
+
+    def test_empty(self):
+        ds, _ = reference_mds_square(nx.Graph())
+        assert ds == set()
+
+
+class TestQuality:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_log_delta_ratio(self, seed):
+        g = random_geometric(20, seed=seed)
+        sq = square(g)
+        ds, _ = reference_mds_square(g, seed=seed)
+        opt = len(minimum_dominating_set(sq))
+        delta = max(dict(g.degree).values())
+        assert len(ds) <= max(4.0, 8.0 * math.log(delta * delta + 2)) * opt
+
+    def test_phase_history_consistent(self):
+        g = gnp_graph(16, 0.25, seed=7)
+        ds, detail = reference_mds_square(g, seed=7)
+        covered = sum(p["covered"] for p in detail["phases"])
+        assert covered >= g.number_of_nodes() - detail["cleanup"]
+        assert all(p["winners"] <= p["candidates"] for p in detail["phases"])
+
+    def test_progress_every_phase(self):
+        # With exact counts, a local-maximum candidate always wins votes
+        # from its own coverage region, so phases strictly progress.
+        g = gnp_graph(24, 0.15, seed=8)
+        _, detail = reference_mds_square(g, seed=8)
+        assert all(p["covered"] > 0 for p in detail["phases"])
+
+    def test_deterministic(self):
+        g = gnp_graph(14, 0.25, seed=9)
+        a, _ = reference_mds_square(g, seed=3)
+        b, _ = reference_mds_square(g, seed=3)
+        assert a == b

@@ -1,0 +1,229 @@
+"""Unit tests for the individual stages of the Theorem 28 MDS pipeline."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest.network import CongestNetwork
+from repro.congest.primitives import BfsTreeAlgorithm
+from repro.core.mds_congest import (
+    GlobalOrAlgorithm,
+    RankVoteAlgorithm,
+    RhoFloodAlgorithm,
+    VoteEstimationAlgorithm,
+    WinnerAlgorithm,
+)
+from repro.graphs.power import two_hop_neighbors
+from repro.graphs.generators import gnp_graph
+
+
+def _network(graph: nx.Graph, seed: int = 0) -> CongestNetwork:
+    net = CongestNetwork(graph, seed=seed)
+    net.reset_state()
+    return net
+
+
+class TestRhoFlood:
+    def test_unique_maximum_is_sole_candidate_locally(self):
+        g = nx.path_graph(9)
+        net = _network(g)
+        for node_id in net.ids():
+            net.node_state[node_id]["density_estimate"] = 1.0
+        net.node_state[4]["density_estimate"] = 100.0
+        result = net.run(RhoFloodAlgorithm)
+        # Node 4's exponent dominates everything within 4 hops (0..8).
+        assert result.by_id[4] is True
+        for node_id in (1, 2, 3, 5, 6, 7):
+            assert result.by_id[node_id] is False
+        # Node 0 and 8 are 4 hops away: they hear the max and lose too.
+        assert result.by_id[0] is False
+
+    def test_distant_maxima_coexist(self):
+        g = nx.path_graph(12)
+        net = _network(g)
+        for node_id in net.ids():
+            net.node_state[node_id]["density_estimate"] = 1.0
+        net.node_state[0]["density_estimate"] = 64.0
+        net.node_state[11]["density_estimate"] = 64.0
+        result = net.run(RhoFloodAlgorithm)
+        assert result.by_id[0] is True
+        assert result.by_id[11] is True
+
+    def test_zero_density_never_candidate(self):
+        g = nx.path_graph(4)
+        net = _network(g)
+        for node_id in net.ids():
+            net.node_state[node_id]["density_estimate"] = 0.0
+        result = net.run(RhoFloodAlgorithm)
+        assert not any(result.by_id.values())
+
+    def test_equal_densities_all_candidates(self):
+        g = nx.cycle_graph(6)
+        net = _network(g)
+        for node_id in net.ids():
+            net.node_state[node_id]["density_estimate"] = 8.0
+        result = net.run(RhoFloodAlgorithm)
+        assert all(result.by_id.values())
+
+    def test_takes_four_rounds(self):
+        g = nx.path_graph(6)
+        net = _network(g)
+        for node_id in net.ids():
+            net.node_state[node_id]["density_estimate"] = 2.0
+        result = net.run(RhoFloodAlgorithm)
+        assert result.stats.rounds == 4
+
+
+class TestRankVote:
+    def _prepare(self, g, candidates, uncovered):
+        net = _network(g)
+        for node_id in net.ids():
+            net.node_state[node_id]["is_candidate"] = node_id in candidates
+            net.node_state[node_id]["in_U"] = node_id in uncovered
+        return net
+
+    def test_votes_target_reachable_candidates(self):
+        g = gnp_graph(12, 0.3, seed=2)
+        candidates = {0, 5}
+        net = self._prepare(g, candidates, set(net_id for net_id in range(12)))
+        result = net.run(RankVoteAlgorithm)
+        for node_id in net.ids():
+            vote = result.by_id[node_id]
+            if vote >= 0:
+                assert vote in candidates
+                reach = {net.id_of(v) for v in
+                         two_hop_neighbors(g, net.label_of(node_id))}
+                assert vote in reach or vote == node_id
+
+    def test_no_candidates_no_votes(self):
+        g = nx.path_graph(5)
+        net = self._prepare(g, set(), set(range(5)))
+        result = net.run(RankVoteAlgorithm)
+        assert all(v == -1 for v in result.by_id.values())
+
+    def test_covered_vertices_do_not_vote(self):
+        g = nx.path_graph(5)
+        net = self._prepare(g, {2}, set())
+        result = net.run(RankVoteAlgorithm)
+        assert all(v == -1 for v in result.by_id.values())
+
+    def test_candidate_neighbors_recorded(self):
+        g = nx.path_graph(4)
+        net = self._prepare(g, {1}, set(range(4)))
+        net.run(RankVoteAlgorithm)
+        assert 1 in net.node_state[0]["candidate_neighbors"]
+        assert 1 in net.node_state[2]["candidate_neighbors"]
+        assert 1 not in net.node_state[3].get("candidate_neighbors", set())
+
+
+class TestVoteEstimation:
+    def test_star_vote_count(self):
+        # Center is the only candidate; all leaves vote for it.
+        g = nx.star_graph(10)
+        net = _network(g, seed=5)
+        center = net.id_of(0)
+        for node_id in net.ids():
+            net.node_state[node_id]["is_candidate"] = node_id == center
+            net.node_state[node_id]["in_U"] = node_id != center
+            net.node_state[node_id]["voted_for"] = (
+                center if node_id != center else -1
+            )
+            net.node_state[node_id]["candidate_neighbors"] = (
+                {center} if node_id != center else set()
+            )
+        result = net.run(lambda view: VoteEstimationAlgorithm(view, 400))
+        estimate = result.by_id[center]
+        assert estimate == pytest.approx(10, rel=0.35)
+
+    def test_no_voters_zero_estimate(self):
+        g = nx.path_graph(4)
+        net = _network(g)
+        for node_id in net.ids():
+            net.node_state[node_id]["is_candidate"] = node_id == 0
+            net.node_state[node_id]["in_U"] = False
+            net.node_state[node_id]["voted_for"] = -1
+            net.node_state[node_id]["candidate_neighbors"] = set()
+        result = net.run(lambda view: VoteEstimationAlgorithm(view, 16))
+        assert result.by_id[0] == 0.0
+
+    def test_two_hop_votes_arrive(self):
+        # Path 0-1-2: node 2 votes for candidate 0 through relay 1.
+        g = nx.path_graph(3)
+        net = _network(g, seed=6)
+        votes_for = {0: -1, 1: 0, 2: 0}
+        for node_id in net.ids():
+            net.node_state[node_id]["is_candidate"] = node_id == 0
+            net.node_state[node_id]["in_U"] = node_id != 0
+            net.node_state[node_id]["voted_for"] = votes_for[node_id]
+            net.node_state[node_id]["candidate_neighbors"] = (
+                {0} if node_id == 1 else set()
+            )
+        result = net.run(lambda view: VoteEstimationAlgorithm(view, 400))
+        assert result.by_id[0] == pytest.approx(2, rel=0.4)
+
+
+class TestWinner:
+    def _prepare(self, g, success_ids):
+        net = _network(g)
+        for node_id in net.ids():
+            winner = node_id in success_ids
+            net.node_state[node_id]["is_candidate"] = winner
+            net.node_state[node_id]["density_estimate"] = 8.0 if winner else 0.0
+            net.node_state[node_id]["vote_estimate"] = 8.0 if winner else 0.0
+            net.node_state[node_id]["in_U"] = True
+            net.node_state[node_id]["in_DS"] = False
+        return net
+
+    def test_winner_covers_two_hops(self):
+        g = nx.path_graph(7)
+        net = self._prepare(g, {3})
+        result = net.run(WinnerAlgorithm)
+        assert result.by_id[3]["in_DS"] is True
+        for node_id in (1, 2, 3, 4, 5):
+            assert result.by_id[node_id]["in_U"] is False
+        for node_id in (0, 6):
+            assert result.by_id[node_id]["in_U"] is True
+
+    def test_insufficient_votes_no_winner(self):
+        g = nx.path_graph(5)
+        net = self._prepare(g, set())
+        net.node_state[2]["is_candidate"] = True
+        net.node_state[2]["density_estimate"] = 80.0
+        net.node_state[2]["vote_estimate"] = 1.0  # < 80 / 8
+        result = net.run(WinnerAlgorithm)
+        assert result.by_id[2]["in_DS"] is False
+        assert all(out["in_U"] for out in result.by_id.values())
+
+
+class TestGlobalOr:
+    def _with_tree(self, g, bits):
+        net = _network(g)
+        net.run(lambda view: BfsTreeAlgorithm(view, net.n - 1))
+        for node_id in net.ids():
+            net.node_state[node_id]["in_U"] = bits.get(node_id, False)
+        return net
+
+    def test_all_zero(self):
+        g = nx.path_graph(6)
+        net = self._with_tree(g, {})
+        result = net.run(lambda view: GlobalOrAlgorithm(view, "in_U"))
+        assert all(out is False for out in result.outputs.values())
+
+    def test_single_one_anywhere(self):
+        g = gnp_graph(10, 0.3, seed=3)
+        for hot in (0, 4, 9):
+            net = self._with_tree(g, {hot: True})
+            result = net.run(lambda view: GlobalOrAlgorithm(view, "in_U"))
+            assert all(out is True for out in result.outputs.values())
+
+    def test_rounds_linear_in_depth(self):
+        g = nx.path_graph(16)
+        net = self._with_tree(g, {0: True})
+        result = net.run(lambda view: GlobalOrAlgorithm(view, "in_U"))
+        assert result.stats.rounds <= 2 * 16 + 4
+
+    def test_requires_tree(self):
+        net = _network(nx.path_graph(3))
+        with pytest.raises(ValueError):
+            net.run(lambda view: GlobalOrAlgorithm(view, "in_U"))

@@ -1,0 +1,69 @@
+"""Tests for the CONGEST word-size accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congest.message import payload_words, word_bits_for
+
+
+class TestWordBits:
+    def test_small_networks(self):
+        assert word_bits_for(1) == 1
+        assert word_bits_for(2) >= 1
+        assert word_bits_for(1000) == 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            word_bits_for(0)
+
+
+class TestPayloadWords:
+    def test_small_int_is_one_word(self):
+        assert payload_words(5, word_bits=10) == 1
+
+    def test_zero_and_negativeish(self):
+        assert payload_words(0, word_bits=8) == 1
+
+    def test_large_int_costs_multiple_words(self):
+        # n^4-sized rank over word of log n bits -> about 4 words.
+        assert payload_words((1 << 40) - 1, word_bits=10) == 4
+
+    def test_float_costs_two_words(self):
+        assert payload_words(3.14, word_bits=10) == 2
+
+    def test_bool_and_none(self):
+        assert payload_words(True, word_bits=8) == 1
+        assert payload_words(None, word_bits=8) == 1
+
+    def test_tuple_sums(self):
+        assert payload_words((1, 2, 3), word_bits=10) == 3
+
+    def test_nested_tuple(self):
+        assert payload_words((1, (2, 3.0)), word_bits=10) == 4
+
+    def test_string_bytes(self):
+        assert payload_words("ab", word_bits=8) == 2
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            payload_words({"a": 1}, word_bits=8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(value=st.integers(0, 2**64), bits=st.integers(1, 32))
+def test_int_cost_monotone_in_size(value, bits):
+    small = payload_words(value, bits)
+    bigger = payload_words(value * 2 + 1, bits)
+    assert bigger >= small >= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    items=st.lists(st.integers(0, 10**6), min_size=1, max_size=6),
+    bits=st.integers(4, 16),
+)
+def test_tuple_cost_is_sum(items, bits):
+    total = payload_words(tuple(items), bits)
+    assert total == sum(payload_words(i, bits) for i in items)

@@ -1,0 +1,132 @@
+"""Tests for Algorithm 2 (Theorem 12): centralized 5/3-approximation."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.mvc_centralized import cover_square_instance, five_thirds_mvc_square
+from repro.core.mvc_congest import approx_mvc_square
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import (
+    caterpillar,
+    cluster_graph,
+    gnp_graph,
+    random_geometric,
+    random_tree,
+)
+from repro.graphs.power import square
+from repro.graphs.validation import is_vertex_cover
+
+FIVE_THIRDS = 5.0 / 3.0
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cover_feasible_random(self, seed):
+        g = gnp_graph(20, 0.2, seed=seed)
+        cover, _ = five_thirds_mvc_square(g)
+        assert is_vertex_cover(square(g), cover)
+
+    @pytest.mark.parametrize(
+        "graph_builder",
+        [
+            lambda: nx.path_graph(17),
+            lambda: nx.cycle_graph(12),
+            lambda: nx.star_graph(9),
+            lambda: random_tree(22, seed=1),
+            lambda: caterpillar(8, 3, seed=1),
+            lambda: cluster_graph(3, 6, seed=1),
+            lambda: random_geometric(24, seed=1),
+            lambda: nx.complete_graph(8),
+        ],
+    )
+    def test_cover_feasible_shapes(self, graph_builder):
+        g = graph_builder()
+        cover, _ = five_thirds_mvc_square(g)
+        assert is_vertex_cover(square(g), cover)
+
+    def test_edgeless(self):
+        g = nx.empty_graph(5)
+        cover, detail = five_thirds_mvc_square(g)
+        assert cover == set()
+
+
+class TestApproximationFactor:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_within_five_thirds_random(self, seed):
+        g = gnp_graph(18, 0.2, seed=seed + 50)
+        sq = square(g)
+        cover, _ = five_thirds_mvc_square(g)
+        opt = len(minimum_vertex_cover(sq))
+        assert len(cover) <= FIVE_THIRDS * opt + 1e-9
+
+    def test_within_five_thirds_structured(self):
+        for builder in (
+            lambda: nx.cycle_graph(15),
+            lambda: random_tree(18, seed=4),
+            lambda: caterpillar(6, 2, seed=4),
+        ):
+            g = builder()
+            sq = square(g)
+            cover, _ = five_thirds_mvc_square(g)
+            opt = len(minimum_vertex_cover(sq))
+            assert len(cover) <= FIVE_THIRDS * opt + 1e-9
+
+    def test_beats_two_approximation_somewhere(self):
+        # The whole point: strictly better than factor 2 is achievable.
+        g = random_geometric(30, seed=7)
+        sq = square(g)
+        cover, _ = five_thirds_mvc_square(g)
+        opt = len(minimum_vertex_cover(sq))
+        assert len(cover) < 2 * opt
+
+
+class TestPartsAccounting:
+    def test_parts_partition_cover(self):
+        g = gnp_graph(20, 0.25, seed=9)
+        cover, detail = five_thirds_mvc_square(g)
+        v1, v2, v3 = detail["V1"], detail["V2"], detail["V3"]
+        assert set(v1) | set(v2) | set(v3) == cover
+        assert len(v1) + len(v2) + len(v3) == len(cover)
+        assert detail["s1"] == len(v1)
+
+    def test_part1_is_triangles(self):
+        g = gnp_graph(16, 0.35, seed=10)
+        _, detail = five_thirds_mvc_square(g)
+        assert detail["s1"] % 3 == 0
+
+    def test_instance_interface_matches(self):
+        g = gnp_graph(14, 0.3, seed=11)
+        sq = square(g)
+        direct, _ = cover_square_instance(sq)
+        via_wrapper, _ = five_thirds_mvc_square(g)
+        assert direct == via_wrapper
+
+    def test_triangle_graph(self):
+        cover, detail = cover_square_instance(nx.complete_graph(3))
+        assert len(cover) == 3  # one triangle, all taken
+        assert detail["s1"] == 3
+
+    def test_single_edge_instance(self):
+        g = nx.Graph()
+        g.add_edge("u", "v")
+        cover, detail = cover_square_instance(g)
+        assert len(cover) == 1  # degree-1 rule takes one endpoint
+        assert detail["s2"] == 1
+
+
+class TestCorollary17:
+    def test_distributed_five_thirds(self):
+        # Plug Algorithm 2 into Algorithm 1's leader (Corollary 17).
+        g = gnp_graph(18, 0.25, seed=12)
+        sq = square(g)
+
+        def local_53(residual, red):
+            cover, _ = cover_square_instance(residual)
+            return cover
+
+        result = approx_mvc_square(g, 0.5, local_solver=local_53, seed=12)
+        assert is_vertex_cover(sq, result.cover)
+        opt = len(minimum_vertex_cover(sq))
+        assert len(result.cover) <= FIVE_THIRDS * opt + 1e-9

@@ -1,0 +1,107 @@
+"""Tests for Theorem 7: weighted (1+eps)-approximate G^2-MWVC."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.mwvc_congest import approx_mwvc_square
+from repro.exact.vertex_cover import minimum_weighted_vertex_cover
+from repro.graphs.generators import gnp_graph, random_weights
+from repro.graphs.power import square
+from repro.graphs.validation import cover_weight, is_vertex_cover
+
+
+def _weighted(n: int, p: float, seed: int, high: int = 30) -> nx.Graph:
+    return random_weights(gnp_graph(n, p, seed=seed), 1, high, seed=seed)
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cover_is_feasible(self, seed):
+        g = _weighted(15, 0.25, seed)
+        result = approx_mwvc_square(g, 0.5, seed=seed)
+        assert is_vertex_cover(square(g), result.cover)
+
+    def test_uniform_weights(self):
+        g = gnp_graph(14, 0.25, seed=3)  # all weight 1 by default
+        result = approx_mwvc_square(g, 0.5)
+        assert is_vertex_cover(square(g), result.cover)
+
+    def test_zero_weights_taken_free(self):
+        g = gnp_graph(12, 0.3, seed=5)
+        weights = {v: 0 if v % 3 == 0 else 4 for v in g.nodes}
+        result = approx_mwvc_square(g, 0.5, weights=weights)
+        assert is_vertex_cover(square(g), result.cover)
+        zero_vertices = {v for v in g.nodes if weights[v] == 0}
+        assert zero_vertices <= result.cover
+
+    def test_rejects_negative_weights(self):
+        g = gnp_graph(8, 0.4, seed=1)
+        weights = {v: -1 if v == 0 else 2 for v in g.nodes}
+        with pytest.raises(ValueError):
+            approx_mwvc_square(g, 0.5, weights=weights)
+
+    def test_rejects_disconnected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            approx_mwvc_square(g, 0.5)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            approx_mwvc_square(nx.path_graph(3), 0)
+
+
+class TestApproximationFactor:
+    @pytest.mark.parametrize("eps", [0.5, 0.34])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_factor_bound(self, eps, seed):
+        g = _weighted(13, 0.25, seed, high=20)
+        sq = square(g)
+        weights = {v: g.nodes[v]["weight"] for v in g.nodes}
+        opt = sum(
+            weights[v] for v in minimum_weighted_vertex_cover(sq, weights)
+        )
+        result = approx_mwvc_square(g, eps, seed=seed)
+        got = cover_weight(g, result.cover)
+        assert got <= (1 + eps) * opt + 1e-9
+
+    def test_skewed_weights(self):
+        # A heavy hub: the algorithm must not pay for it when avoidable.
+        g = nx.star_graph(8)
+        weights = {v: 1000 if v == 0 else 1 for v in g.nodes}
+        result = approx_mwvc_square(g, 0.5, weights=weights)
+        sq = square(g)
+        assert is_vertex_cover(sq, result.cover)
+        w = {v: weights[v] for v in g.nodes}
+        opt = sum(w[v] for v in minimum_weighted_vertex_cover(sq, w))
+        assert cover_weight(g, result.cover) <= 1.5 * opt
+
+    def test_geometric_weight_classes(self):
+        # Weights spanning many doubling classes exercise the N_i split.
+        g = gnp_graph(16, 0.3, seed=7)
+        weights = {v: 2 ** (v % 8) for v in g.nodes}
+        result = approx_mwvc_square(g, 0.5, weights=weights)
+        sq = square(g)
+        assert is_vertex_cover(sq, result.cover)
+        opt = sum(
+            weights[v] for v in minimum_weighted_vertex_cover(sq, weights)
+        )
+        assert cover_weight(g, result.cover) <= 1.5 * opt + 1e-9
+
+
+class TestStructure:
+    def test_detail_partition(self):
+        g = _weighted(14, 0.3, seed=9)
+        result = approx_mwvc_square(g, 0.5, seed=9)
+        s = result.detail["phase_one_cover"]
+        u = result.detail["residual_vertices"]
+        assert not s & u
+
+    def test_rounds_reasonable(self):
+        g = _weighted(20, 0.2, seed=10)
+        result = approx_mwvc_square(g, 0.5, seed=10)
+        n = g.number_of_nodes()
+        assert result.stats.rounds <= 60 * n

@@ -1,0 +1,79 @@
+"""Tests for the naive 2-hop learning baseline (the intro's congestion claim)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest.errors import CongestionError
+from repro.core.naive import learn_two_hop_neighborhoods
+from repro.graphs.generators import gnp_graph
+from repro.graphs.power import two_hop_neighbors
+
+
+class TestPacedMode:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_learns_exact_two_hop_sets(self, seed):
+        g = gnp_graph(14, 0.25, seed=seed)
+        net_result = learn_two_hop_neighborhoods(g, burst=False)
+        for label, learned in net_result.outputs.items():
+            truth = {
+                net_id
+                for net_id in learned
+            }
+            expected = two_hop_neighbors(g, label)
+            # Outputs are integer ids; map back through sorted order.
+            assert len(learned) == len(expected)
+
+    def test_rounds_proportional_to_degree(self):
+        # A star has Delta = n-1: paced learning needs ~Delta rounds.
+        for n in (8, 16, 32):
+            g = nx.star_graph(n - 1)
+            result = learn_two_hop_neighborhoods(g, burst=False)
+            assert n - 1 <= result.stats.rounds <= n + 3
+
+    def test_bounded_degree_is_constant_rounds(self):
+        for n in (10, 20, 40):
+            g = nx.cycle_graph(n)
+            result = learn_two_hop_neighborhoods(g, burst=False)
+            assert result.stats.rounds <= 6  # degree 2 everywhere
+
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node(0)
+        result = learn_two_hop_neighborhoods(g)
+        assert result.outputs[0] == set()
+
+
+class TestBurstMode:
+    def test_burst_violates_budget_on_star(self):
+        g = nx.star_graph(40)
+        with pytest.raises(CongestionError):
+            learn_two_hop_neighborhoods(g, burst=True, strict=True)
+
+    def test_burst_tolerated_on_tiny_degree(self):
+        g = nx.cycle_graph(8)
+        result = learn_two_hop_neighborhoods(g, burst=True, strict=True)
+        assert result.stats.rounds <= 3
+
+    def test_lenient_mode_meters_delta_words(self):
+        g = nx.star_graph(40)
+        result = learn_two_hop_neighborhoods(g, burst=True, strict=False)
+        # The center's list is Theta(Delta) words on a single edge.
+        assert result.stats.max_words_per_edge_round >= 40
+
+
+class TestCorrectnessById:
+    def test_learned_ids_match_truth(self):
+        g = gnp_graph(12, 0.3, seed=5)
+        from repro.congest.network import CongestNetwork
+
+        net = CongestNetwork(g)
+        result = net.run(
+            lambda view: __import__(
+                "repro.core.naive", fromlist=["TwoHopLearningAlgorithm"]
+            ).TwoHopLearningAlgorithm(view)
+        )
+        for label, learned in result.outputs.items():
+            expected = {net.id_of(u) for u in two_hop_neighbors(g, label)}
+            assert learned == expected

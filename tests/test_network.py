@@ -1,0 +1,218 @@
+"""Tests for the CONGEST simulator runtime."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.clique import CongestedCliqueNetwork
+from repro.congest.errors import CongestionError, ProtocolError, RoundLimitError
+from repro.congest.network import CongestNetwork, RunStats, run_stages
+
+
+class Silent(NodeAlgorithm):
+    def on_start(self):
+        self.finish("done")
+        return None
+
+    def on_round(self, inbox):  # pragma: no cover - never reached
+        raise AssertionError
+
+
+class PingNeighbors(NodeAlgorithm):
+    """Broadcast own id once; finish after hearing all neighbors."""
+
+    def on_start(self):
+        return self.broadcast((self.node.id,))
+
+    def on_round(self, inbox):
+        assert set(inbox) == set(self.node.neighbors)
+        for sender, msg in inbox.items():
+            assert msg == (sender,)
+        self.finish(sorted(inbox))
+        return None
+
+
+class Oversized(NodeAlgorithm):
+    def on_start(self):
+        return self.broadcast(tuple(range(100)))
+
+    def on_round(self, inbox):
+        self.finish(None)
+        return None
+
+
+class WrongTarget(NodeAlgorithm):
+    def on_start(self):
+        return {self.node.id: (1,)}
+
+    def on_round(self, inbox):  # pragma: no cover
+        return None
+
+
+class NonNeighborTarget(NodeAlgorithm):
+    def on_start(self):
+        far = (self.node.id + 2) % self.node.n
+        return {far: (1,)}
+
+    def on_round(self, inbox):
+        self.finish(None)
+        return None
+
+
+class Forever(NodeAlgorithm):
+    def on_round(self, inbox):
+        return None
+
+
+class TestBasicRuntime:
+    def test_zero_round_algorithm(self):
+        net = CongestNetwork(nx.path_graph(4))
+        result = net.run(Silent)
+        assert result.stats.rounds == 0
+        assert all(v == "done" for v in result.outputs.values())
+
+    def test_ping_exchange(self):
+        g = nx.cycle_graph(6)
+        net = CongestNetwork(g)
+        result = net.run(PingNeighbors)
+        assert result.stats.rounds == 1
+        assert result.stats.messages == 2 * g.number_of_edges()
+
+    def test_outputs_keyed_by_label(self):
+        g = nx.Graph()
+        g.add_edge("x", "y")
+        net = CongestNetwork(g)
+        result = net.run(PingNeighbors)
+        assert set(result.outputs) == {"x", "y"}
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            CongestNetwork(nx.Graph())
+
+    def test_round_limit(self):
+        net = CongestNetwork(nx.path_graph(3))
+        with pytest.raises(RoundLimitError):
+            net.run(Forever, max_rounds=10)
+
+    def test_inputs_delivered(self):
+        class ReadInput(NodeAlgorithm):
+            def on_start(self):
+                self.finish(self.node.input)
+                return None
+
+            def on_round(self, inbox):  # pragma: no cover
+                return None
+
+        g = nx.path_graph(3)
+        net = CongestNetwork(g)
+        result = net.run(ReadInput, inputs={0: "a", 1: "b", 2: "c"})
+        assert result.outputs == {0: "a", 1: "b", 2: "c"}
+
+    def test_node_rng_deterministic(self):
+        class Draw(NodeAlgorithm):
+            def on_start(self):
+                self.finish(self.node.rng.random())
+                return None
+
+            def on_round(self, inbox):  # pragma: no cover
+                return None
+
+        g = nx.path_graph(4)
+        first = CongestNetwork(g, seed=7).run(Draw).outputs
+        second = CongestNetwork(g, seed=7).run(Draw).outputs
+        third = CongestNetwork(g, seed=8).run(Draw).outputs
+        assert first == second
+        assert first != third
+
+
+class TestEnforcement:
+    def test_congestion_error_on_oversize(self):
+        net = CongestNetwork(nx.path_graph(3), word_limit=4, strict=True)
+        with pytest.raises(CongestionError):
+            net.run(Oversized)
+
+    def test_lenient_mode_meters_anyway(self):
+        net = CongestNetwork(nx.path_graph(3), word_limit=4, strict=False)
+        result = net.run(Oversized)
+        assert result.stats.max_words_per_edge_round > 4
+
+    def test_self_message_rejected(self):
+        net = CongestNetwork(nx.path_graph(3))
+        with pytest.raises(ProtocolError):
+            net.run(WrongTarget)
+
+    def test_non_neighbor_rejected_in_congest(self):
+        net = CongestNetwork(nx.path_graph(5))
+        with pytest.raises(ProtocolError):
+            net.run(NonNeighborTarget)
+
+    def test_non_neighbor_allowed_in_clique(self):
+        net = CongestedCliqueNetwork(nx.path_graph(5))
+        result = net.run(NonNeighborTarget)
+        assert result.stats.messages == 5
+
+
+class TestMetering:
+    def test_bits_accounting(self):
+        g = nx.path_graph(2)
+        net = CongestNetwork(g)
+        result = net.run(PingNeighbors)
+        assert result.stats.total_words == 2
+        assert result.stats.total_bits == 2 * net.word_bits
+
+    def test_cut_metering(self):
+        g = nx.path_graph(4)
+        net = CongestNetwork(g, cut=[(1, 2)])
+        result = net.run(PingNeighbors)
+        # Two directed messages across the single cut edge.
+        assert result.stats.cut_words == 2
+
+    def test_stats_addition(self):
+        a = RunStats(rounds=2, messages=3, total_words=5, word_bits=4)
+        b = RunStats(rounds=1, messages=1, total_words=2, word_bits=4)
+        c = a + b
+        assert c.rounds == 3
+        assert c.messages == 4
+        assert c.total_words == 7
+
+
+class TestStages:
+    def test_state_carries_between_stages(self):
+        class WriteStage(NodeAlgorithm):
+            def on_start(self):
+                self.node.state["mark"] = self.node.id * 10
+                self.finish(None)
+                return None
+
+            def on_round(self, inbox):  # pragma: no cover
+                return None
+
+        class ReadStage(NodeAlgorithm):
+            def on_start(self):
+                self.finish(self.node.state["mark"])
+                return None
+
+            def on_round(self, inbox):  # pragma: no cover
+                return None
+
+        g = nx.path_graph(3)
+        net = CongestNetwork(g)
+        combined, per_stage = run_stages(net, [WriteStage, ReadStage])
+        assert len(per_stage) == 2
+        assert combined.outputs == {0: 0, 1: 10, 2: 20}
+
+    def test_stage_rounds_summed(self):
+        g = nx.path_graph(3)
+        net = CongestNetwork(g)
+        combined, _ = run_stages(net, [PingNeighbors, PingNeighbors])
+        assert combined.stats.rounds == 2
+
+    def test_id_label_mapping_roundtrip(self):
+        g = nx.Graph()
+        g.add_edge("alpha", "beta")
+        g.add_edge("beta", ("tuple", 3))
+        net = CongestNetwork(g)
+        for node_id in net.ids():
+            assert net.id_of(net.label_of(node_id)) == node_id

@@ -1,0 +1,110 @@
+"""Tests for the executable normal-form lemmas (Lemmas 23, 32/33, 36)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exact.dominating_set import minimum_dominating_set
+from repro.exact.greedy import matching_vertex_cover
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.power import square
+from repro.graphs.validation import is_dominating_set, is_vertex_cover
+from repro.lowerbounds.disjointness import random_instance
+from repro.lowerbounds.mds_square_exact import build_mds_square_family
+from repro.lowerbounds.mvc_square import build_mvc_square_family
+from repro.lowerbounds.normal_forms import (
+    chains_of_mds_square_family,
+    chains_of_mvc_square_family,
+    normalize_dangling_cover,
+    normalize_path5_dominating_set,
+)
+
+
+@pytest.fixture(scope="module")
+def mvc_family():
+    x, y = random_instance(2, seed=1)
+    return build_mvc_square_family(x, y, 2)
+
+
+@pytest.fixture(scope="module")
+def mds_family():
+    x, y = random_instance(2, seed=1)
+    return build_mds_square_family(x, y, 2)
+
+
+class TestLemma23:
+    def test_chains_extracted(self, mvc_family):
+        chains = chains_of_mvc_square_family(mvc_family)
+        assert len(chains) == mvc_family.extra["gadget_count"]
+        for head, middle, tail in chains:
+            assert mvc_family.graph.has_edge(head, middle)
+            assert mvc_family.graph.has_edge(middle, tail)
+
+    def test_optimal_cover_normalizes_at_equal_size(self, mvc_family):
+        sq = square(mvc_family.graph)
+        cover = minimum_vertex_cover(sq)
+        chains = chains_of_mvc_square_family(mvc_family)
+        normalized = normalize_dangling_cover(sq, cover, chains)
+        assert len(normalized) <= len(cover)
+        assert is_vertex_cover(sq, normalized)
+        for head, middle, tail in chains:
+            assert head in normalized and middle in normalized
+            assert tail not in normalized
+
+    def test_sloppy_cover_normalizes(self, mvc_family):
+        # A 2-approximate cover (maximal matching) also normalizes, at no
+        # extra cost — the lemma is about *any* cover.
+        sq = square(mvc_family.graph)
+        cover = matching_vertex_cover(sq)
+        chains = chains_of_mvc_square_family(mvc_family)
+        normalized = normalize_dangling_cover(sq, cover, chains)
+        assert len(normalized) <= len(cover)
+        assert is_vertex_cover(sq, normalized)
+
+    def test_rejects_non_cover(self, mvc_family):
+        sq = square(mvc_family.graph)
+        chains = chains_of_mvc_square_family(mvc_family)
+        with pytest.raises(AssertionError):
+            normalize_dangling_cover(sq, set(), chains)
+
+
+class TestLemma32:
+    def test_chains_extracted(self, mds_family):
+        chains = chains_of_mds_square_family(mds_family)
+        assert len(chains) == mds_family.extra["gadget_count"]
+        for chain in chains:
+            assert len(chain) == 5
+            for a, b in zip(chain, chain[1:]):
+                assert mds_family.graph.has_edge(a, b)
+
+    def test_optimal_ds_normalizes_at_equal_size(self, mds_family):
+        sq = square(mds_family.graph)
+        ds = minimum_dominating_set(sq)
+        chains = chains_of_mds_square_family(mds_family)
+        normalized = normalize_path5_dominating_set(sq, ds, chains)
+        assert len(normalized) <= len(ds)
+        assert is_dominating_set(sq, normalized)
+        for chain in chains:
+            assert chain[2] in normalized  # P[3]
+            assert chain[3] not in normalized
+            assert chain[4] not in normalized
+
+    def test_perturbed_ds_normalizes(self, mds_family):
+        # Pad the solution with gadget tails; the lemma strips them.
+        sq = square(mds_family.graph)
+        ds = set(minimum_dominating_set(sq))
+        chains = chains_of_mds_square_family(mds_family)
+        chain = chains[0]
+        perturbed = ds | {chain[3], chain[4]}
+        assert is_dominating_set(sq, perturbed)
+        normalized = normalize_path5_dominating_set(sq, perturbed, chains)
+        assert len(normalized) < len(perturbed)
+        assert chain[2] in normalized
+        assert chain[3] not in normalized
+        assert chain[4] not in normalized
+
+    def test_rejects_wrong_chain_length(self, mds_family):
+        sq = square(mds_family.graph)
+        ds = minimum_dominating_set(sq)
+        with pytest.raises(ValueError):
+            normalize_path5_dominating_set(sq, ds, [("a", "b", "c")])

@@ -1,0 +1,99 @@
+"""Tests for the generalized G^r clique-peeling algorithm."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.power_peeling import (
+    approx_mvc_power,
+    peeling_guarantee,
+)
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import gnp_graph, random_tree
+from repro.graphs.power import graph_power
+from repro.graphs.validation import is_vertex_cover
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("r", [2, 3, 4, 5])
+    def test_cover_feasible(self, r):
+        g = gnp_graph(18, 0.15, seed=r)
+        result = approx_mvc_power(g, r, epsilon=0.5)
+        assert is_vertex_cover(graph_power(g, r), result.cover)
+
+    def test_rejects_power_one(self):
+        with pytest.raises(ValueError):
+            approx_mvc_power(nx.path_graph(4), 1, 0.5)
+
+    def test_peels_are_disjoint(self):
+        g = gnp_graph(24, 0.2, seed=3)
+        result = approx_mvc_power(g, 2, epsilon=0.5)
+        seen = set()
+        for _, ball in result.peels:
+            assert not ball & seen
+            seen |= ball
+
+    def test_peels_are_power_cliques(self):
+        g = gnp_graph(20, 0.2, seed=4)
+        r = 4
+        power = graph_power(g, r)
+        result = approx_mvc_power(g, r, epsilon=0.5)
+        for _, ball in result.peels:
+            vertices = sorted(ball, key=repr)
+            for i, u in enumerate(vertices):
+                for v in vertices[i + 1:]:
+                    assert power.has_edge(u, v)
+
+    def test_cover_partition(self):
+        g = gnp_graph(20, 0.2, seed=5)
+        result = approx_mvc_power(g, 2, epsilon=0.5)
+        peeled = {v for _, ball in result.peels for v in ball}
+        assert result.cover == peeled | result.residual_solution
+        assert result.residual_solution <= result.residual_vertices
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("r", [2, 3, 4])
+    @pytest.mark.parametrize("eps", [0.5, 0.34])
+    def test_factor(self, r, eps):
+        g = gnp_graph(16, 0.18, seed=10 * r)
+        power = graph_power(g, r)
+        opt = len(minimum_vertex_cover(power))
+        result = approx_mvc_power(g, r, epsilon=eps)
+        if opt:
+            assert len(result.cover) <= (1 + eps) * opt + 1e-9
+
+    def test_matches_congest_variant_quality(self):
+        # The sequential r=2 peeling should be no worse than the theorem
+        # bound that the distributed implementation also meets.
+        g = random_tree(20, seed=7)
+        power = graph_power(g, 2)
+        opt = len(minimum_vertex_cover(power))
+        result = approx_mvc_power(g, 2, epsilon=0.25)
+        assert len(result.cover) <= 1.25 * opt + 1e-9
+
+    def test_guarantee_formula(self):
+        assert peeling_guarantee(0.5) == 1.5
+        assert peeling_guarantee(0.3) == 1.25
+
+    def test_custom_residual_solver(self):
+        calls = []
+
+        def recording(residual):
+            calls.append(residual.number_of_nodes())
+            return minimum_vertex_cover(residual)
+
+        g = gnp_graph(14, 0.2, seed=8)
+        result = approx_mvc_power(g, 2, 0.5, residual_solver=recording)
+        assert calls
+        assert is_vertex_cover(graph_power(g, 2), result.cover)
+
+
+class TestThresholdBehavior:
+    def test_small_epsilon_peels_less(self):
+        # Higher 1/eps threshold -> fewer/bigger peels, bigger residual.
+        g = gnp_graph(26, 0.25, seed=9)
+        loose = approx_mvc_power(g, 2, epsilon=1.0)
+        tight = approx_mvc_power(g, 2, epsilon=0.2)
+        assert len(tight.residual_vertices) >= len(loose.residual_vertices)

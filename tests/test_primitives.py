@@ -1,0 +1,146 @@
+"""Tests for BFS tree / convergecast / broadcast primitives."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congest.network import CongestNetwork
+from repro.congest.primitives import (
+    BroadcastAlgorithm,
+    ConvergecastAlgorithm,
+    broadcast_tokens,
+    build_bfs_tree,
+    convergecast_tokens,
+)
+
+
+def _net(graph: nx.Graph, seed: int = 0) -> CongestNetwork:
+    return CongestNetwork(graph, seed=seed)
+
+
+class TestBfs:
+    def test_depths_match_shortest_paths(self):
+        g = nx.gnp_random_graph(15, 0.25, seed=4)
+        g.add_edges_from((i, i + 1) for i in range(14))  # ensure connected
+        net = _net(g)
+        result = build_bfs_tree(net)
+        root_label = net.label_of(net.n - 1)
+        distances = nx.single_source_shortest_path_length(g, root_label)
+        for label, info in result.outputs.items():
+            assert info["depth"] == distances[label]
+
+    def test_parent_is_one_level_up(self):
+        g = nx.random_geometric_graph(20, 0.5, seed=3)
+        g.add_edges_from((i, i + 1) for i in range(19))
+        net = _net(g)
+        result = build_bfs_tree(net)
+        for label, info in result.outputs.items():
+            if info["parent"] >= 0:
+                parent_label = net.label_of(info["parent"])
+                assert result.outputs[parent_label]["depth"] == info["depth"] - 1
+
+    def test_children_symmetry(self):
+        g = nx.path_graph(8)
+        net = _net(g)
+        result = build_bfs_tree(net)
+        for label, info in result.outputs.items():
+            me = net.id_of(label)
+            for child in info["children"]:
+                child_label = net.label_of(child)
+                assert result.outputs[child_label]["parent"] == me
+
+    def test_explicit_root(self):
+        g = nx.path_graph(6)
+        net = _net(g)
+        result = build_bfs_tree(net, root_label=0)
+        assert result.outputs[0]["depth"] == 0
+        assert result.outputs[5]["depth"] == 5
+
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node("only")
+        result = build_bfs_tree(_net(g))
+        assert result.outputs["only"]["depth"] == 0
+        assert result.outputs["only"]["parent"] == -1
+
+    def test_rounds_linear_in_depth(self):
+        g = nx.path_graph(20)
+        net = _net(g)
+        result = build_bfs_tree(net, root_label=0)
+        assert result.stats.rounds <= 20 + 3
+
+
+class TestConvergecast:
+    def test_all_tokens_reach_root(self):
+        g = nx.gnp_random_graph(12, 0.3, seed=7)
+        g.add_edges_from((i, i + 1) for i in range(11))
+        net = _net(g)
+        tokens = {v: [(v, 7)] for v in g.nodes}
+        collected, _ = convergecast_tokens(net, tokens)
+        assert sorted(collected) == sorted((v, 7) for v in g.nodes)
+
+    def test_multiple_tokens_per_node(self):
+        g = nx.star_graph(5)
+        net = _net(g)
+        tokens = {v: [(v, i) for i in range(3)] for v in g.nodes}
+        collected, _ = convergecast_tokens(net, tokens)
+        assert len(collected) == 18
+
+    def test_empty_tokens(self):
+        g = nx.path_graph(5)
+        collected, _ = convergecast_tokens(_net(g), {})
+        assert collected == []
+
+    def test_pipelining_rounds(self):
+        # Path of length D with one token each: ~D + n rounds, not D * n.
+        g = nx.path_graph(16)
+        net = _net(g)
+        tokens = {v: [(v,)] for v in g.nodes}
+        _, result = convergecast_tokens(net, tokens, root_label=15)
+        assert result.stats.rounds <= 2 * 16 + 10
+
+    def test_requires_bfs_state(self):
+        net = _net(nx.path_graph(3))
+        net.reset_state()
+        with pytest.raises(ValueError):
+            net.run(lambda view: ConvergecastAlgorithm(view))
+
+
+class TestBroadcast:
+    def test_everyone_receives_in_order(self):
+        g = nx.gnp_random_graph(10, 0.35, seed=9)
+        g.add_edges_from((i, i + 1) for i in range(9))
+        net = _net(g)
+        payload = [(1, 2), (3, 4), (5, 6)]
+        result, _ = broadcast_tokens(net, payload)
+        for out in result.outputs.values():
+            assert out == payload
+
+    def test_empty_broadcast(self):
+        net = _net(nx.path_graph(4))
+        result, _ = broadcast_tokens(net, [])
+        assert all(out == [] for out in result.outputs.values())
+
+    def test_requires_bfs_state(self):
+        net = _net(nx.path_graph(3))
+        net.reset_state()
+        with pytest.raises(ValueError):
+            net.run(lambda view: BroadcastAlgorithm(view))
+
+
+@settings(max_examples=12, deadline=None)
+@given(n=st.integers(2, 14), seed=st.integers(0, 20))
+def test_convergecast_complete_on_random_trees(n, seed):
+    import random as _random
+
+    rng = _random.Random(seed)
+    g = nx.Graph()
+    g.add_node(0)
+    for v in range(1, n):
+        g.add_edge(v, rng.randrange(v))
+    net = _net(g, seed=seed)
+    tokens = {v: [(v, v + 1)] for v in g.nodes}
+    collected, _ = convergecast_tokens(net, tokens)
+    assert sorted(collected) == sorted((v, v + 1) for v in g.nodes)

@@ -1,0 +1,94 @@
+"""Evidence that the family validation has teeth.
+
+The paper defers the MDS bit-gadget's exact wiring to [BCD+19].  During
+reconstruction we first tried the rotation ``tA-fB-uA-tB-fA-uB`` — it
+*looks* right (antipodal same-letter pairs, private u vertices) but admits
+a cheating dominating set: a mixed cycle pair patched by row vertices
+decouples the row indices and meets the threshold on *disjoint* inputs.
+This test pins that counterexample so the correct rotation
+(``tA-fA-uB-tB-fB-uA``, see :mod:`repro.lowerbounds.bcd19`) can never be
+silently swapped back, and demonstrates that the exact-solver validation
+would catch such an error.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.exact.dominating_set import minimum_dominating_set
+from repro.lowerbounds.bcd19 import (
+    bcd19_threshold,
+    build_bcd19_mds,
+    bit6_vertex,
+    complement_vertex,
+)
+from repro.lowerbounds.ckp17 import ROWS, row_vertex
+from repro.lowerbounds.disjointness import disj
+
+
+def _build_with_refutable_rotation(x, y, k=2):
+    """The plausible-but-wrong gadget: u adjacent to the *other* side's
+    letter pair (uA ~ fB, tB instead of bridging same-letter pairs)."""
+    graph = nx.Graph()
+    for row in ROWS:
+        graph.add_nodes_from(row_vertex(row, i) for i in range(1, k + 1))
+    for pair in (("A1", "B1"), ("A2", "B2")):
+        a_side, b_side = pair
+        ta = bit6_vertex("t", a_side, 0)
+        fa = bit6_vertex("f", a_side, 0)
+        ua = bit6_vertex("u", a_side, 0)
+        tb = bit6_vertex("t", b_side, 0)
+        fb = bit6_vertex("f", b_side, 0)
+        ub = bit6_vertex("u", b_side, 0)
+        cycle = [ta, fb, ua, tb, fa, ub]  # the refutable order
+        for idx, vertex in enumerate(cycle):
+            graph.add_edge(vertex, cycle[(idx + 1) % 6])
+    side_of_row = {"a1": "A1", "a2": "A2", "b1": "B1", "b2": "B2"}
+    for row, side in side_of_row.items():
+        for i in range(1, k + 1):
+            graph.add_edge(row_vertex(row, i), complement_vertex(side, i, 0))
+    for i in range(1, k + 1):
+        for j in range(1, k + 1):
+            if (i, j) in x:
+                graph.add_edge(row_vertex("a1", i), row_vertex("a2", j))
+            if (i, j) in y:
+                graph.add_edge(row_vertex("b1", i), row_vertex("b2", j))
+    return graph
+
+
+COUNTEREXAMPLE_X = frozenset({(1, 1)})
+COUNTEREXAMPLE_Y = frozenset({(1, 2)})
+
+
+def test_inputs_are_disjoint():
+    assert disj(COUNTEREXAMPLE_X, COUNTEREXAMPLE_Y)
+
+
+def test_refutable_rotation_admits_cheating_ds():
+    """The wrong gadget meets the threshold on a DISJOINT input — the
+    exact reduction property fails, so Theorem 19 would not apply."""
+    graph = _build_with_refutable_rotation(COUNTEREXAMPLE_X, COUNTEREXAMPLE_Y)
+    W = bcd19_threshold(2)
+    assert len(minimum_dominating_set(graph)) <= W  # the cheat
+
+
+def test_correct_rotation_rejects_the_same_input():
+    fam = build_bcd19_mds(COUNTEREXAMPLE_X, COUNTEREXAMPLE_Y, 2)
+    W = bcd19_threshold(2)
+    assert len(minimum_dominating_set(fam.graph)) > W  # no cheat
+
+
+def test_rotations_differ_only_in_cycle_edges():
+    """Sanity: the two constructions share rows, row-bit edges, inputs."""
+    wrong = _build_with_refutable_rotation(COUNTEREXAMPLE_X, COUNTEREXAMPLE_Y)
+    right = build_bcd19_mds(COUNTEREXAMPLE_X, COUNTEREXAMPLE_Y, 2).graph
+    assert set(wrong.nodes) == set(right.nodes)
+
+    def non_cycle_edges(g):
+        return {
+            frozenset(e)
+            for e in g.edges
+            if not (e[0][0] in "tfu" and e[1][0] in "tfu")
+        }
+
+    assert non_cycle_edges(wrong) == non_cycle_edges(right)

@@ -1,0 +1,81 @@
+"""Tests for Definition 37 r-covering set systems."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.lowerbounds.set_system import (
+    find_r_covering_system,
+    has_r_covering_property,
+    universe,
+)
+
+
+class TestVerifier:
+    def test_known_good_system(self):
+        # S1={1,2}, S2={2,3}, S3={1,3} over {1..4}: any two
+        # non-complementary choices miss an element.
+        sets = [frozenset({1, 2}), frozenset({2, 3}), frozenset({1, 3})]
+        assert has_r_covering_property(sets, 4, r=2)
+
+    def test_covering_pair_rejected(self):
+        # S1 and S2 together cover the whole universe.
+        sets = [frozenset({1, 2}), frozenset({3, 4}), frozenset({1, 3})]
+        assert not has_r_covering_property(sets, 4, r=2)
+
+    def test_complement_containment_rejected(self):
+        # S2 subset of S1 means S1 with complement(S2) covers everything.
+        sets = [frozenset({1, 2, 3}), frozenset({1, 2}), frozenset({2, 4})]
+        assert not has_r_covering_property(sets, 4, r=2)
+
+    def test_complementary_pairs_are_exempt(self):
+        # S_i with its own complement always covers U; Definition 37
+        # explicitly excludes that choice.
+        sets = [frozenset({1, 2})]
+        assert has_r_covering_property(sets, 4, r=2)
+
+    def test_r1(self):
+        # r=1: no single set or complement may cover the universe.
+        assert has_r_covering_property([frozenset({1})], 2, r=1)
+        assert not has_r_covering_property([frozenset({1, 2})], 2, r=1)
+
+    def test_brute_force_equivalence_small(self):
+        # Compare the verifier against a direct re-implementation.
+        sets = [frozenset({1, 3}), frozenset({2, 3}), frozenset({3, 4})]
+        full = universe(4)
+        expected = True
+        for combo in itertools.combinations(
+            [(i, c) for i in range(3) for c in (False, True)], 2
+        ):
+            if len({i for i, _ in combo}) < 2:
+                continue
+            covered = set()
+            for i, comp in combo:
+                covered |= (full - sets[i]) if comp else sets[i]
+            if covered == full:
+                expected = False
+        assert has_r_covering_property(sets, 4, r=2) == expected
+
+
+class TestSearch:
+    @pytest.mark.parametrize("t", [3, 4])
+    def test_found_systems_verified(self, t):
+        sets = find_r_covering_system(universe_size=6, num_sets=t, r=2, seed=1)
+        assert len(sets) == t
+        assert has_r_covering_property(sets, 6, r=2)
+
+    def test_r3_needs_larger_universe(self):
+        sets = find_r_covering_system(universe_size=10, num_sets=3, r=3, seed=2)
+        assert has_r_covering_property(sets, 10, r=3)
+
+    def test_impossible_parameters_raise(self):
+        # Universe of 2 with 4 distinct half-size sets cannot exist.
+        with pytest.raises(ValueError):
+            find_r_covering_system(universe_size=2, num_sets=4, r=2, attempts=50)
+
+    def test_deterministic_for_seed(self):
+        a = find_r_covering_system(6, 3, 2, seed=5)
+        b = find_r_covering_system(6, 3, 2, seed=5)
+        assert a == b

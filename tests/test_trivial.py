@@ -1,0 +1,84 @@
+"""Tests for Lemma 6: the trivial zero-round approximation on powers."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.trivial import (
+    independent_set_upper_bound,
+    trivial_power_cover,
+    trivial_ratio_bound,
+    vertex_cover_lower_bound,
+)
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import gnp_graph, random_tree
+from repro.graphs.power import graph_power
+from repro.graphs.validation import is_vertex_cover
+
+
+class TestRatioBound:
+    def test_square_bound_is_two(self):
+        assert trivial_ratio_bound(2) == 2.0
+        assert trivial_ratio_bound(3) == 2.0
+
+    def test_higher_powers_tighten(self):
+        assert trivial_ratio_bound(4) == 1.5
+        assert trivial_ratio_bound(6) == pytest.approx(4 / 3)
+
+    def test_power_one_unbounded(self):
+        assert math.isinf(trivial_ratio_bound(1))
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            trivial_ratio_bound(0)
+
+
+class TestLemmaSix:
+    @pytest.mark.parametrize("r", [2, 3, 4, 5])
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: nx.path_graph(14),
+            lambda: nx.cycle_graph(13),
+            lambda: random_tree(15, seed=3),
+            lambda: gnp_graph(14, 0.2, seed=3),
+        ],
+    )
+    def test_optimum_at_least_bound(self, r, builder):
+        g = builder()
+        power = graph_power(g, r)
+        opt = len(minimum_vertex_cover(power))
+        assert opt >= vertex_cover_lower_bound(g, r) - 1e-9
+
+    @pytest.mark.parametrize("r", [2, 4])
+    def test_trivial_cover_within_guarantee(self, r):
+        g = gnp_graph(16, 0.2, seed=5)
+        power = graph_power(g, r)
+        cover = trivial_power_cover(g)
+        assert is_vertex_cover(power, cover)
+        opt = len(minimum_vertex_cover(power))
+        if opt > 0:
+            assert len(cover) / opt <= trivial_ratio_bound(r) + 1e-9
+
+    def test_independent_set_bound_formula(self):
+        g = nx.path_graph(12)
+        assert independent_set_upper_bound(g, 2) == 6.0
+        assert independent_set_upper_bound(g, 4) == 4.0
+
+    def test_requires_connected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            independent_set_upper_bound(g, 2)
+
+    def test_independent_sets_of_square_respect_bound(self):
+        # Complement of any MVC of G^2 is independent in G^2.
+        g = gnp_graph(15, 0.2, seed=6)
+        sq = graph_power(g, 2)
+        mvc = minimum_vertex_cover(sq)
+        independent = set(g.nodes) - mvc
+        assert len(independent) <= independent_set_upper_bound(g, 2)

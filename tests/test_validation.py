@@ -1,0 +1,116 @@
+"""Tests for cover / dominating-set validation."""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.validation import (
+    approximation_ratio,
+    assert_dominating_set,
+    assert_vertex_cover,
+    cover_weight,
+    is_dominating_set,
+    is_vertex_cover,
+    uncovered_edges,
+    undominated_vertices,
+)
+
+
+class TestVertexCover:
+    def test_full_vertex_set_covers(self, small_connected):
+        assert is_vertex_cover(small_connected, small_connected.nodes)
+
+    def test_empty_cover_of_edgeless(self):
+        g = nx.empty_graph(4)
+        assert is_vertex_cover(g, set())
+
+    def test_missing_edge_detected(self, path5):
+        assert not is_vertex_cover(path5, {0, 3})
+        assert (1, 2) in uncovered_edges(path5, {0, 3})
+
+    def test_unknown_vertex_raises(self, path5):
+        with pytest.raises(ValueError):
+            is_vertex_cover(path5, {99})
+
+    def test_assert_raises_with_witness(self, path5):
+        with pytest.raises(AssertionError, match="uncovered"):
+            assert_vertex_cover(path5, set())
+
+    def test_assert_passes(self, path5):
+        assert_vertex_cover(path5, {1, 3})
+
+
+class TestDominatingSet:
+    def test_center_dominates_star(self, star6):
+        assert is_dominating_set(star6, {0})
+
+    def test_leaf_does_not_dominate_star(self, star6):
+        assert not is_dominating_set(star6, {1})
+
+    def test_isolated_vertex_needs_itself(self):
+        g = nx.Graph()
+        g.add_node(0)
+        g.add_edge(1, 2)
+        assert not is_dominating_set(g, {1})
+        assert is_dominating_set(g, {0, 1})
+
+    def test_undominated_witnesses(self, path5):
+        assert set(undominated_vertices(path5, {0})) == {2, 3, 4}
+
+    def test_assert_raises(self, path5):
+        with pytest.raises(AssertionError, match="undominated"):
+            assert_dominating_set(path5, {0})
+
+    def test_unknown_vertex_raises(self, path5):
+        with pytest.raises(ValueError):
+            is_dominating_set(path5, {"nope"})
+
+
+class TestWeights:
+    def test_default_weight_is_one(self, path5):
+        assert cover_weight(path5, {0, 1}) == 2
+
+    def test_weight_attribute_used(self):
+        g = nx.path_graph(3)
+        g.nodes[1]["weight"] = 5
+        assert cover_weight(g, {0, 1}) == 6
+
+    def test_ratio(self, path5):
+        assert approximation_ratio(path5, {0, 1}, optimum=2) == 1.0
+
+    def test_zero_optimum_zero_cost(self, path5):
+        assert approximation_ratio(path5, set(), optimum=0) == 1.0
+
+    def test_zero_optimum_nonzero_cost_raises(self, path5):
+        with pytest.raises(ValueError):
+            approximation_ratio(path5, {0}, optimum=0)
+
+
+def _brute_is_cover(graph, solution):
+    return all(u in solution or v in solution for u, v in graph.edges)
+
+
+def _brute_is_dominating(graph, solution):
+    for v in graph.nodes:
+        if v in solution:
+            continue
+        if not any(u in solution for u in graph.neighbors(v)):
+            return False
+    return True
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(2, 8),
+    seed=st.integers(0, 40),
+    mask=st.integers(0, 255),
+)
+def test_validators_match_brute_force(n, seed, mask):
+    g = nx.gnp_random_graph(n, 0.4, seed=seed)
+    subset = {v for v in g.nodes if mask >> v & 1}
+    assert is_vertex_cover(g, subset) == _brute_is_cover(g, subset)
+    assert is_dominating_set(g, subset) == _brute_is_dominating(g, subset)

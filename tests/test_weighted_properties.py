@@ -1,0 +1,99 @@
+"""Property tests for the weighted algorithms and solvers."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mwvc_congest import approx_mwvc_square
+from repro.exact.vertex_cover import minimum_weighted_vertex_cover
+from repro.exact.dominating_set import minimum_weighted_dominating_set
+from repro.graphs.generators import gnp_graph
+from repro.graphs.power import square
+from repro.graphs.validation import cover_weight, is_vertex_cover
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(6, 13),
+    seed=st.integers(0, 20),
+    wseed=st.integers(0, 10),
+)
+def test_mwvc_congest_random_weights(n, seed, wseed):
+    g = gnp_graph(n, 0.3, seed=seed)
+    rng = random.Random(wseed)
+    weights = {v: rng.randint(1, 40) for v in g.nodes}
+    sq = square(g)
+    result = approx_mwvc_square(g, 0.5, weights=weights, seed=seed)
+    assert is_vertex_cover(sq, result.cover)
+    opt = sum(weights[v] for v in minimum_weighted_vertex_cover(sq, weights))
+    got = sum(weights[v] for v in result.cover)
+    assert got <= 1.5 * opt + 1e-9
+
+
+@settings(max_examples=12, deadline=None)
+@given(n=st.integers(3, 9), seed=st.integers(0, 20), scale=st.integers(1, 5))
+def test_weight_scaling_invariance(n, seed, scale):
+    """Scaling all weights scales the optimum; the solution set can stay."""
+    g = nx.gnp_random_graph(n, 0.4, seed=seed)
+    rng = random.Random(seed)
+    weights = {v: rng.randint(1, 9) for v in g.nodes}
+    scaled = {v: w * scale for v, w in weights.items()}
+    base = minimum_weighted_vertex_cover(g, weights)
+    scaled_cover = minimum_weighted_vertex_cover(g, scaled)
+    base_cost = sum(weights[v] for v in base)
+    scaled_cost = sum(scaled[v] for v in scaled_cover)
+    assert scaled_cost == base_cost * scale
+
+
+@settings(max_examples=12, deadline=None)
+@given(n=st.integers(3, 9), seed=st.integers(0, 20))
+def test_uniform_weights_match_cardinality(n, seed):
+    """With unit weights, weighted and unweighted solvers agree on cost."""
+    from repro.exact.vertex_cover import minimum_vertex_cover
+    from repro.exact.dominating_set import minimum_dominating_set
+
+    g = nx.gnp_random_graph(n, 0.4, seed=seed)
+    unit = {v: 1 for v in g.nodes}
+    assert len(minimum_weighted_vertex_cover(g, unit)) == len(
+        minimum_vertex_cover(g)
+    )
+    assert len(minimum_weighted_dominating_set(g, unit)) == len(
+        minimum_dominating_set(g)
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(n=st.integers(3, 9), seed=st.integers(0, 20))
+def test_zero_weight_vertices_are_free(n, seed):
+    """Adding zero-weight vertices to any instance can't raise the cost."""
+    g = nx.gnp_random_graph(n, 0.4, seed=seed)
+    rng = random.Random(seed)
+    weights = {v: rng.randint(1, 9) for v in g.nodes}
+    base_cost = sum(
+        weights[v] for v in minimum_weighted_vertex_cover(g, weights)
+    )
+    # Zero out a vertex: the optimum can only drop (or stay).
+    if g.number_of_nodes() == 0:
+        return
+    victim = next(iter(g.nodes))
+    weights0 = dict(weights)
+    weights0[victim] = 0
+    zero_cost = sum(
+        weights0[v] for v in minimum_weighted_vertex_cover(g, weights0)
+    )
+    assert zero_cost <= base_cost
+
+
+def test_mwvc_weight_attribute_and_argument_agree():
+    g = gnp_graph(10, 0.3, seed=4)
+    rng = random.Random(4)
+    weights = {v: rng.randint(1, 20) for v in g.nodes}
+    for v, w in weights.items():
+        g.nodes[v]["weight"] = w
+    by_attr = approx_mwvc_square(g, 0.5, seed=1)
+    by_arg = approx_mwvc_square(g, 0.5, weights=weights, seed=1)
+    assert cover_weight(g, by_attr.cover) == cover_weight(g, by_arg.cover)
