@@ -9,7 +9,27 @@ verification suite.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+import time
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any, TypeVar
+
+T = TypeVar("T")
+
+
+def best_time(fn: Callable[[], T], repeats: int = 3) -> tuple[T, float]:
+    """Run ``fn`` ``repeats`` times; return ``(last_result, best_seconds)``.
+
+    Best-of-N is the standard way to strip scheduler noise from a
+    throughput comparison; the result is returned so callers can
+    cross-check that timed runs also computed the right thing.
+    """
+    best = float("inf")
+    result: Any = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
 
 
 def print_table(

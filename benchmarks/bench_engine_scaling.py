@@ -1,0 +1,162 @@
+"""Engine scaling sweep: reference engine (v1) vs activity-scheduled (v2).
+
+Runs the same workloads on both execution engines across graph families and
+sizes, asserts the results are identical (the differential contract of
+``tests/test_engine_parity.py``, re-checked here at benchmark scale) and
+reports wall-clock speedups.  The activity-scheduled engine shines on
+workloads where most nodes are silent most rounds — pipelined convergecast
+and broadcast on low-degree graphs — and still wins on chatty Phase-I style
+workloads through buffer reuse, O(1) adjacency checks and metering caches.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py [--quick]
+        [--repeats R] [--check]
+
+``--quick`` trims sizes/repeats for CI smoke runs; ``--check`` exits
+nonzero unless v2 achieves >= 2x on at least one scenario with n >= 200.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import best_time, print_table
+
+from repro.congest.network import CongestNetwork
+from repro.congest.primitives import broadcast_tokens, convergecast_tokens
+from repro.core.mvc_congest import approx_mvc_square
+from repro.core.mds_congest import approx_mds_square
+from repro.graphs.generators import (
+    gnp_graph,
+    path_graph,
+    power_law_graph,
+    star_graph,
+)
+
+ENGINES = ("v1", "v2")
+PIPELINE_TOKENS = 16
+
+
+def _pipeline_path(n: int, engine: str):
+    """BFS + convergecast of a token batch from the far leaf of a path.
+
+    The canonical sparse-activity workload: outside the token front almost
+    every node is idle almost every round."""
+    net = CongestNetwork(path_graph(n), seed=1, engine=engine)
+    tokens = {0: [(i, i) for i in range(PIPELINE_TOKENS)]}
+    collected, combined = convergecast_tokens(net, tokens)
+    return tuple(collected), combined.stats
+
+
+def _broadcast_star(n: int, engine: str):
+    """BFS + token broadcast on a high-degree star."""
+    net = CongestNetwork(star_graph(n), seed=1, engine=engine)
+    result, _bfs = broadcast_tokens(net, [(i,) for i in range(PIPELINE_TOKENS)])
+    return result.outputs[0], result.stats
+
+
+def _mvc_er(n: int, engine: str):
+    """Algorithm 1 on a sparse ER graph (chatty Phase I dominates)."""
+    graph = gnp_graph(n, min(0.3, 5.0 / n), seed=n)
+    result = approx_mvc_square(graph, 0.5, seed=n, engine=engine)
+    return frozenset(result.cover), result.stats
+
+
+def _mvc_power_law(n: int, engine: str):
+    graph = power_law_graph(n, m=2, seed=n)
+    result = approx_mvc_square(graph, 0.5, seed=n, engine=engine)
+    return frozenset(result.cover), result.stats
+
+
+def _mds_er(n: int, engine: str):
+    """Theorem 28 MDS pipeline (estimation stages, BFS termination checks)."""
+    graph = gnp_graph(n, min(0.3, 5.0 / n), seed=n)
+    result = approx_mds_square(graph, seed=n, engine=engine)
+    return frozenset(result.cover), result.stats
+
+
+SCENARIOS = (
+    # (name, runner, full sizes, quick sizes)
+    ("pipeline-path", _pipeline_path, (120, 240, 480), (240,)),
+    ("broadcast-star", _broadcast_star, (100, 200, 400), (200,)),
+    ("mvc-er", _mvc_er, (60, 120, 240), (120,)),
+    ("mvc-power-law", _mvc_power_law, (60, 120), (60,)),
+    ("mds-er", _mds_er, (32, 48), ()),
+)
+
+
+def run_sweep(quick: bool, repeats: int):
+    rows = []
+    speedups = {}
+    for name, runner, sizes, quick_sizes in SCENARIOS:
+        for n in quick_sizes if quick else sizes:
+            timings = {}
+            signatures = {}
+            for engine in ENGINES:
+                signatures[engine], timings[engine] = best_time(
+                    lambda runner=runner, n=n, engine=engine: runner(n, engine),
+                    repeats=repeats,
+                )
+            if signatures["v1"] != signatures["v2"]:
+                raise AssertionError(
+                    f"engine parity violated on {name} n={n}: "
+                    f"{signatures['v1']} != {signatures['v2']}"
+                )
+            speedup = timings["v1"] / timings["v2"]
+            speedups[(name, n)] = speedup
+            rows.append(
+                (
+                    name,
+                    n,
+                    signatures["v1"][1].rounds,
+                    signatures["v1"][1].messages,
+                    timings["v1"] * 1e3,
+                    timings["v2"] * 1e3,
+                    speedup,
+                )
+            )
+    return rows, speedups
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke subset")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless v2 >= 2x on some scenario with n >= 200",
+    )
+    args = parser.parse_args(argv)
+    repeats = max(1, args.repeats if not args.quick else min(args.repeats, 2))
+
+    rows, speedups = run_sweep(args.quick, repeats)
+    print_table(
+        "Engine scaling: v1 (reference) vs v2 (activity-scheduled)",
+        ["scenario", "n", "rounds", "messages", "v1 ms", "v2 ms", "speedup"],
+        rows,
+    )
+    print("\nparity: identical outputs and stats on every scenario")
+    large = {k: v for k, v in speedups.items() if k[1] >= 200}
+    if large:
+        (best_name, best_n), best = max(large.items(), key=lambda kv: kv[1])
+        print(
+            f"best speedup at n >= 200: {best:.2f}x "
+            f"({best_name}, n={best_n})"
+        )
+        if args.check and best < 2.0:
+            print("FAIL: expected >= 2x speedup at n >= 200", file=sys.stderr)
+            return 1
+    elif args.check:
+        print("FAIL: no scenario with n >= 200 was run", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,19 +77,28 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
     graph = _build_graph(args.graph, args.n, args.seed)
     sq = square(graph)
     if args.model == "congest":
-        result = approx_mvc_square(graph, args.eps, seed=args.seed)
+        result = approx_mvc_square(
+            graph, args.eps, seed=args.seed, engine=args.engine
+        )
         cover, rounds = result.cover, result.stats.rounds
     elif args.model == "clique-det":
         result = approx_mvc_square_clique_deterministic(
-            graph, args.eps, seed=args.seed
+            graph, args.eps, seed=args.seed, engine=args.engine
         )
         cover, rounds = result.cover, result.stats.rounds
     elif args.model == "clique-rand":
         result = approx_mvc_square_clique_randomized(
-            graph, args.eps, seed=args.seed
+            graph, args.eps, seed=args.seed, engine=args.engine
         )
         cover, rounds = result.cover, result.stats.rounds
     else:  # centralized
+        if args.engine is not None:
+            print(
+                "error: --engine applies only to distributed models "
+                "(congest, clique-det, clique-rand)",
+                file=sys.stderr,
+            )
+            return 2
         cover, _ = five_thirds_mvc_square(graph)
         rounds = 0
     assert_vertex_cover(sq, cover)
@@ -105,7 +114,7 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
 def _cmd_mds(args: argparse.Namespace) -> int:
     graph = _build_graph(args.graph, args.n, args.seed)
     sq = square(graph)
-    result = approx_mds_square(graph, seed=args.seed)
+    result = approx_mds_square(graph, seed=args.seed, engine=args.engine)
     assert_dominating_set(sq, result.cover)
     print(f"graph: {args.graph} n={graph.number_of_nodes()} "
           f"m={graph.number_of_edges()}")
@@ -194,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("congest", "clique-det", "clique-rand", "centralized"),
         default="congest",
     )
+    mvc.add_argument(
+        "--engine",
+        choices=("v1", "v2"),
+        default=None,
+        help="simulator engine (default: REPRO_ENGINE env or v2)",
+    )
     mvc.add_argument("--exact", action="store_true")
     mvc.set_defaults(func=_cmd_mvc)
 
@@ -202,6 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
     mds.add_argument("--seed", type=int, default=0)
     mds.add_argument(
         "--graph", choices=("gnp", "geometric", "tree", "grid"), default="gnp"
+    )
+    mds.add_argument(
+        "--engine",
+        choices=("v1", "v2"),
+        default=None,
+        help="simulator engine (default: REPRO_ENGINE env or v2)",
     )
     mds.add_argument("--exact", action="store_true")
     mds.set_defaults(func=_cmd_mds)

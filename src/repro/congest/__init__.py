@@ -8,9 +8,31 @@ violations raise :class:`~repro.congest.errors.CongestionError` in strict
 mode.  This makes the congestion phenomenon the paper studies *observable*:
 the same algorithm that runs on ``G`` fails loudly when it naively tries to
 ship 2-hop neighborhoods over single edges.
+
+Execution engines
+-----------------
+Two engines run the rounds (see :mod:`repro.congest.engine`):
+
+* ``"v1"`` — the reference loop: every live node is invoked every round.
+* ``"v2"`` — the activity-scheduled engine (default): only nodes with
+  pending inbox traffic or an explicit self-wake
+  (:meth:`~repro.congest.algorithm.NodeAlgorithm.wants_wake`) run, inbox
+  buffers are reused instead of reallocated, adjacency checks and message
+  metering are O(1)/cached, and quiescence is detected incrementally.
+
+Select an engine per network (``CongestNetwork(graph, engine="v1")``) or
+process-wide via the ``REPRO_ENGINE`` environment variable.  Both engines
+are required to produce identical outputs, statistics and traces;
+``tests/test_engine_parity.py`` enforces this differentially and
+``benchmarks/bench_engine_scaling.py`` measures the speedup.
 """
 
 from repro.congest.errors import CongestionError, RoundLimitError
+from repro.congest.engine import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV_VAR,
+    resolve_engine_name,
+)
 from repro.congest.message import payload_words, word_bits_for
 from repro.congest.algorithm import NodeAlgorithm, NodeView
 from repro.congest.network import (
@@ -32,6 +54,9 @@ from repro.congest.primitives import (
 __all__ = [
     "CongestionError",
     "RoundLimitError",
+    "DEFAULT_ENGINE",
+    "ENGINE_ENV_VAR",
+    "resolve_engine_name",
     "payload_words",
     "word_bits_for",
     "NodeAlgorithm",

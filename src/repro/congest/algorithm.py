@@ -86,13 +86,31 @@ class NodeAlgorithm:
         return None
 
     def on_round(self, inbox: Inbox) -> Outbox:
-        """Handle this round's inbox, produce next round's messages."""
+        """Handle this round's inbox, produce next round's messages.
+
+        ``inbox`` is only valid during this call: the activity-scheduled
+        engine recycles inbox dictionaries across rounds, so copy anything
+        you need to keep rather than storing the mapping itself.
+        """
         raise NotImplementedError
 
     def finish(self, output: Any = None) -> None:
         """Record ``output`` and halt this node."""
         self.done = True
         self.output = output
+
+    def wants_wake(self) -> bool:
+        """Whether the node must run next round even with an empty inbox.
+
+        The activity-scheduled engine (v2) invokes a node only when it has
+        pending inbox traffic or this hook returns True.  The default —
+        always — preserves reference semantics for any algorithm.  Override
+        to return False only when an empty-inbox ``on_round`` call would be
+        a strict no-op (no state change, no sends): that is the contract
+        that keeps both engines byte-identical, and it is what lets the v2
+        engine skip the silent majority of nodes each round.
+        """
+        return True
 
     def broadcast(self, payload: Any) -> dict[int, Any]:
         """Outbox sending ``payload`` to every neighbor."""

@@ -1,0 +1,395 @@
+"""Pluggable execution engines for :class:`~repro.congest.network.CongestNetwork`.
+
+Two engines implement the same synchronous-round semantics:
+
+* ``v1`` (:class:`SynchronousEngine`) — the original reference loop: every
+  live node is invoked every round, inbox dictionaries are rebuilt from
+  scratch and quiescence is detected by scanning all algorithms.  Kept
+  verbatim as the differential-testing baseline.
+* ``v2`` (:class:`ActivityEngine`) — the activity-scheduled runtime: only
+  nodes with pending inbox traffic or an explicit self-wake
+  (:meth:`~repro.congest.algorithm.NodeAlgorithm.wants_wake`) are invoked,
+  inbox buffers are reused via :class:`~repro.congest.scheduler.MailboxRing`,
+  message metering caches :func:`~repro.congest.message.payload_words` for
+  repeated payload shapes, and quiescence is a counter decrement.
+
+Both engines must produce identical outputs, statistics and traces on every
+run; ``tests/test_engine_parity.py`` enforces this differentially.
+
+Engine selection: the ``engine=`` constructor argument of
+:class:`~repro.congest.network.CongestNetwork` wins; otherwise the
+``REPRO_ENGINE`` environment variable; otherwise :data:`DEFAULT_ENGINE`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Mapping
+from typing import TYPE_CHECKING, Any
+
+from repro.congest.errors import CongestionError, ProtocolError, RoundLimitError
+from repro.congest.message import payload_words
+from repro.congest.scheduler import ActivityScheduler, MailboxRing
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.congest.algorithm import NodeAlgorithm
+    from repro.congest.network import (
+        AlgorithmFactory,
+        CongestNetwork,
+        RunResult,
+        RunStats,
+    )
+
+#: Environment variable overriding the engine for networks constructed
+#: without an explicit ``engine=`` argument.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: Engine used when neither the constructor nor the environment chooses.
+DEFAULT_ENGINE = "v2"
+
+_ALIASES = {
+    "v1": "v1",
+    "sync": "v1",
+    "reference": "v1",
+    "v2": "v2",
+    "activity": "v2",
+    "event": "v2",
+}
+
+#: Sentinel for payloads whose word cost cannot be cached by value.
+_UNCACHEABLE = object()
+
+#: Safety valve: drop the payload-shape cache if a pathological workload
+#: keeps minting distinct payload values.
+_CACHE_LIMIT = 1 << 16
+
+
+def resolve_engine_name(name: str | None = None) -> str:
+    """Canonical engine name from an explicit choice or the environment."""
+    if name is None:
+        name = os.environ.get(ENGINE_ENV_VAR) or DEFAULT_ENGINE
+    canonical = _ALIASES.get(str(name).strip().lower())
+    if canonical is None:
+        raise ValueError(
+            f"unknown engine {name!r}; choose one of "
+            f"{sorted(set(_ALIASES))} (canonically 'v1' or 'v2')"
+        )
+    return canonical
+
+
+def create_engine(network: "CongestNetwork", name: str | None = None) -> "Engine":
+    """Instantiate the engine ``name`` (resolved per module rules) for ``network``."""
+    canonical = resolve_engine_name(name)
+    if canonical == "v1":
+        return SynchronousEngine(network)
+    return ActivityEngine(network)
+
+
+class Engine:
+    """Executes node algorithms in synchronous rounds on one network."""
+
+    name: str = "?"
+
+    def __init__(self, network: "CongestNetwork") -> None:
+        self.network = network
+
+    def run(
+        self,
+        factory: "AlgorithmFactory",
+        inputs: Mapping[Any, Any] | None = None,
+        max_rounds: int | None = None,
+        trace: bool = False,
+    ) -> "RunResult":
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _setup(
+        self,
+        factory: "AlgorithmFactory",
+        inputs: Mapping[Any, Any] | None,
+        max_rounds: int | None,
+        trace: bool,
+    ):
+        from repro.congest.network import DEFAULT_ROUND_FACTOR, RunStats
+
+        network = self.network
+        if max_rounds is None:
+            max_rounds = DEFAULT_ROUND_FACTOR * network.n * network.n + 1000
+        views = network._make_views(inputs)
+        algorithms = [factory(view) for view in views]
+        stats = RunStats(word_bits=network.word_bits)
+        timeline = [] if trace else None
+        return algorithms, stats, timeline, max_rounds
+
+    def _result(self, algorithms: list["NodeAlgorithm"], stats, timeline):
+        from repro.congest.network import RunResult
+
+        network = self.network
+        outputs = {
+            network._label_of[alg.node.id]: alg.output for alg in algorithms
+        }
+        by_id = {alg.node.id: alg.output for alg in algorithms}
+        return RunResult(
+            outputs=outputs, stats=stats, by_id=by_id, trace=timeline
+        )
+
+
+class SynchronousEngine(Engine):
+    """Engine v1: the reference every-node-every-round loop."""
+
+    name = "v1"
+
+    def run(
+        self,
+        factory: "AlgorithmFactory",
+        inputs: Mapping[Any, Any] | None = None,
+        max_rounds: int | None = None,
+        trace: bool = False,
+    ) -> "RunResult":
+        from repro.congest.network import RoundRecord
+
+        network = self.network
+        algorithms, stats, timeline, max_rounds = self._setup(
+            factory, inputs, max_rounds, trace
+        )
+
+        pending: dict[int, dict[int, Any]] = {i: {} for i in range(network.n)}
+        for alg in algorithms:
+            network._collect(alg, alg.on_start(), pending, stats)
+        if timeline is not None:
+            timeline.append(
+                RoundRecord(
+                    round_index=0,
+                    messages=stats.messages,
+                    words=stats.total_words,
+                    active_nodes=sum(1 for a in algorithms if not a.done),
+                )
+            )
+
+        while not all(alg.done for alg in algorithms):
+            if stats.rounds >= max_rounds:
+                raise RoundLimitError(
+                    f"no termination within {max_rounds} rounds "
+                    f"({sum(1 for a in algorithms if not a.done)} nodes alive)"
+                )
+            stats.rounds += 1
+            before_messages = stats.messages
+            before_words = stats.total_words
+            inboxes, pending = pending, {i: {} for i in range(network.n)}
+            for alg in algorithms:
+                if alg.done:
+                    continue
+                outbox = alg.on_round(inboxes[alg.node.id])
+                # A node may send a final outbox in the round it finishes.
+                network._collect(alg, outbox, pending, stats)
+            if timeline is not None:
+                timeline.append(
+                    RoundRecord(
+                        round_index=stats.rounds,
+                        messages=stats.messages - before_messages,
+                        words=stats.total_words - before_words,
+                        active_nodes=sum(1 for a in algorithms if not a.done),
+                    )
+                )
+
+        return self._result(algorithms, stats, timeline)
+
+
+def _payload_cache_key(payload: Any) -> Any:
+    """Value key for the word-cost cache, or :data:`_UNCACHEABLE`.
+
+    Value-keyed caching is only sound when equal values imply equal costs.
+    Floats break that (``1 == 1.0`` but an int costs one word, a float
+    two), so only ``None``/``int``/``bool``/``str`` scalars and flat tuples
+    of those are cached; everything else is recomputed.
+    """
+    if payload is None or isinstance(payload, (int, str)):
+        return payload
+    if type(payload) is tuple:
+        for item in payload:
+            if item is not None and not isinstance(item, (int, str)):
+                return _UNCACHEABLE
+        return payload
+    return _UNCACHEABLE
+
+
+class ActivityEngine(Engine):
+    """Engine v2: wake only nodes with traffic or an explicit self-wake."""
+
+    name = "v2"
+
+    def __init__(self, network: "CongestNetwork") -> None:
+        super().__init__(network)
+        #: payload value -> word cost, shared across runs on this network
+        #: (word size is fixed per network, so keys need not include it).
+        self._words_cache: dict[Any, int] = {}
+
+    def run(
+        self,
+        factory: "AlgorithmFactory",
+        inputs: Mapping[Any, Any] | None = None,
+        max_rounds: int | None = None,
+        trace: bool = False,
+    ) -> "RunResult":
+        from repro.congest.network import RoundRecord
+
+        network = self.network
+        algorithms, stats, timeline, max_rounds = self._setup(
+            factory, inputs, max_rounds, trace
+        )
+        ring = MailboxRing(network.n)
+        scheduler = ActivityScheduler(network.n)
+
+        for alg in algorithms:
+            self._collect(alg, alg.on_start(), ring, stats)
+            if alg.done:
+                scheduler.node_finished()
+            elif alg.wants_wake():
+                scheduler.request_wake(alg.node.id)
+        if timeline is not None:
+            timeline.append(
+                RoundRecord(
+                    round_index=0,
+                    messages=stats.messages,
+                    words=stats.total_words,
+                    active_nodes=scheduler.live,
+                )
+            )
+
+        while scheduler.live:
+            if stats.rounds >= max_rounds:
+                raise RoundLimitError(
+                    f"no termination within {max_rounds} rounds "
+                    f"({scheduler.live} nodes alive)"
+                )
+            stats.rounds += 1
+            before_messages = stats.messages
+            before_words = stats.total_words
+            runnable = scheduler.runnable(ring.flip())
+            for node_id in runnable:
+                alg = algorithms[node_id]
+                if alg.done:
+                    # Late traffic addressed to a finished node: metered at
+                    # send time (as in v1), never delivered.
+                    continue
+                outbox = alg.on_round(ring.inbox(node_id))
+                self._collect(alg, outbox, ring, stats)
+                if alg.done:
+                    scheduler.node_finished()
+                elif alg.wants_wake():
+                    scheduler.request_wake(node_id)
+            if timeline is not None:
+                timeline.append(
+                    RoundRecord(
+                        round_index=stats.rounds,
+                        messages=stats.messages - before_messages,
+                        words=stats.total_words - before_words,
+                        active_nodes=scheduler.live,
+                    )
+                )
+            if not runnable and not ring.has_pending():
+                self._spin_to_limit(stats, timeline, max_rounds, scheduler)
+
+        return self._result(algorithms, stats, timeline)
+
+    def _spin_to_limit(self, stats, timeline, max_rounds: int, scheduler) -> None:
+        """Every live node sleeps and no traffic is in flight: nothing can
+        ever happen again.  The reference engine would keep running empty
+        rounds to the limit; reproduce its trace and error exactly."""
+        from repro.congest.network import RoundRecord
+
+        while True:
+            if stats.rounds >= max_rounds:
+                raise RoundLimitError(
+                    f"no termination within {max_rounds} rounds "
+                    f"({scheduler.live} nodes alive)"
+                )
+            stats.rounds += 1
+            if timeline is not None:
+                timeline.append(
+                    RoundRecord(
+                        round_index=stats.rounds,
+                        messages=0,
+                        words=0,
+                        active_nodes=scheduler.live,
+                    )
+                )
+
+    def _collect(
+        self,
+        alg: "NodeAlgorithm",
+        outbox: Mapping[int, Any] | None,
+        ring: MailboxRing,
+        stats: "RunStats",
+    ) -> None:
+        if not outbox:
+            return
+        from repro.congest.network import CongestNetwork
+
+        network = self.network
+        n = network.n
+        word_bits = network.word_bits
+        word_limit = network.word_limit
+        strict = network.strict
+        cut = network._cut
+        cache = self._words_cache
+        # Metering below is an inlined fast path of CongestNetwork._meter;
+        # a subclass that overrides _meter must keep being honored, so fall
+        # back to the virtual call for it (as _can_send always is).
+        custom_meter = (
+            type(network)._meter
+            if type(network)._meter is not CongestNetwork._meter
+            else None
+        )
+        sender = alg.node.id
+        # Broadcasts reuse one payload object for every neighbor; a
+        # single-slot identity memo skips even the cache lookup for them.
+        prev_payload: Any = _UNCACHEABLE
+        prev_words = 0
+        for target, payload in outbox.items():
+            if target == sender:
+                raise ProtocolError(f"node {sender} addressed itself")
+            if not isinstance(target, int) or not 0 <= target < n:
+                raise ProtocolError(
+                    f"node {sender} addressed invalid target {target!r}"
+                )
+            if not network._can_send(sender, target):
+                raise ProtocolError(
+                    f"node {network.label_of(sender)!r} is not adjacent to "
+                    f"{network.label_of(target)!r} in the communication graph"
+                )
+            if custom_meter is not None:
+                custom_meter(network, sender, target, payload, stats)
+                ring.post(sender, target, payload)
+                continue
+            if payload is prev_payload:
+                words = prev_words
+            else:
+                key = _payload_cache_key(payload)
+                if key is _UNCACHEABLE:
+                    words = payload_words(payload, word_bits)
+                else:
+                    cached = cache.get(key)
+                    if cached is None:
+                        if len(cache) >= _CACHE_LIMIT:
+                            cache.clear()
+                        cached = payload_words(payload, word_bits)
+                        cache[key] = cached
+                    words = cached
+                prev_payload = payload
+                prev_words = words
+            if words > word_limit and strict:
+                raise CongestionError(
+                    f"message {network.label_of(sender)!r} -> "
+                    f"{network.label_of(target)!r} is {words} words but the "
+                    f"per-edge budget is {word_limit} words of "
+                    f"{word_bits} bits"
+                )
+            stats.messages += 1
+            stats.total_words += words
+            if words > stats.max_words_per_edge_round:
+                stats.max_words_per_edge_round = words
+            if cut and frozenset((sender, target)) in cut:
+                stats.cut_words += words
+            ring.post(sender, target, payload)

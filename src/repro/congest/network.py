@@ -4,6 +4,14 @@
 graph in synchronous rounds, delivering messages between rounds, metering
 round/message/bit usage and enforcing the per-edge bandwidth bound.
 
+The round loop itself lives in :mod:`repro.congest.engine` and comes in two
+interchangeable implementations: the reference engine (``v1``) and the
+activity-scheduled engine (``v2``, the default) which only wakes nodes with
+pending traffic or an explicit self-wake.  Select one per network with the
+``engine=`` constructor argument or globally with the ``REPRO_ENGINE``
+environment variable; both must behave identically (see
+``tests/test_engine_parity.py``).
+
 Paper algorithms are sequences of phases whose round complexities add; the
 :func:`run_stages` driver runs stage factories back-to-back on the same
 network, with per-node ``state`` dictionaries carrying intermediate results
@@ -20,7 +28,7 @@ from typing import Any
 import networkx as nx
 
 from repro.congest.algorithm import NodeAlgorithm, NodeView
-from repro.congest.errors import CongestionError, ProtocolError, RoundLimitError
+from repro.congest.errors import CongestionError, ProtocolError
 from repro.congest.message import payload_words, word_bits_for
 
 AlgorithmFactory = Callable[[NodeView], NodeAlgorithm]
@@ -50,6 +58,19 @@ class RunStats:
         return self.cut_words * self.word_bits
 
     def __add__(self, other: "RunStats") -> "RunStats":
+        if (
+            self.word_bits
+            and other.word_bits
+            and self.word_bits != other.word_bits
+        ):
+            # Silently taking the max would misreport total_bits for the
+            # smaller-word side; word counts from different word sizes are
+            # not commensurable.
+            raise ValueError(
+                f"cannot add RunStats with different word sizes "
+                f"({self.word_bits} vs {other.word_bits} bits); convert to "
+                f"bits before aggregating across networks"
+            )
         return RunStats(
             rounds=self.rounds + other.rounds,
             messages=self.messages + other.messages,
@@ -58,7 +79,7 @@ class RunStats:
                 self.max_words_per_edge_round, other.max_words_per_edge_round
             ),
             cut_words=self.cut_words + other.cut_words,
-            word_bits=max(self.word_bits, other.word_bits),
+            word_bits=self.word_bits or other.word_bits,
         )
 
 
@@ -103,6 +124,10 @@ class CongestNetwork:
     cut:
         Optional iterable of label pairs; traffic crossing these edges is
         metered separately (the Alice-Bob cut of Theorem 19).
+    engine:
+        Which execution engine runs the rounds: ``"v1"`` (reference) or
+        ``"v2"`` (activity-scheduled, default).  ``None`` defers to the
+        ``REPRO_ENGINE`` environment variable, then the package default.
     """
 
     def __init__(
@@ -112,6 +137,7 @@ class CongestNetwork:
         strict: bool = True,
         seed: int = 0,
         cut: Iterable[tuple[Any, Any]] | None = None,
+        engine: str | None = None,
     ) -> None:
         if graph.number_of_nodes() == 0:
             raise ValueError("network must have at least one node")
@@ -131,11 +157,26 @@ class CongestNetwork:
             )
             for label in ordering
         }
+        # Set form of the adjacency for O(1) membership in _can_send; the
+        # sorted tuples above remain the public NodeView.neighbors order.
+        self._adjacency_sets: dict[int, frozenset[int]] = {
+            node_id: frozenset(neighbors)
+            for node_id, neighbors in self._adjacency.items()
+        }
         self._cut: set[frozenset[int]] = set()
         if cut is not None:
             for u, v in cut:
                 self._cut.add(frozenset((self._id_of[u], self._id_of[v])))
         self.node_state: dict[int, dict] = {i: {} for i in range(self.n)}
+
+        from repro.congest.engine import create_engine
+
+        self._engine = create_engine(self, engine)
+
+    @property
+    def engine_name(self) -> str:
+        """Canonical name of the engine executing this network's rounds."""
+        return self._engine.name
 
     # -- identifier mapping ------------------------------------------------
 
@@ -161,7 +202,7 @@ class CongestNetwork:
 
     def _can_send(self, sender: int, target: int) -> bool:
         """Whether ``sender`` may address ``target`` this round."""
-        return target in self._adjacency[sender]
+        return target in self._adjacency_sets[sender]
 
     def _make_views(self, inputs: Mapping[Any, Any] | None) -> list[NodeView]:
         views = []
@@ -214,59 +255,13 @@ class CongestNetwork:
         not terminate within ``max_rounds`` (default ``20 * n**2 + 1000``).
         With ``trace=True`` the result carries a per-round traffic timeline
         (round 0 records the ``on_start`` sends).
+
+        The round loop is executed by the engine chosen at construction
+        time (see :mod:`repro.congest.engine`); every engine produces
+        identical results.
         """
-        if max_rounds is None:
-            max_rounds = DEFAULT_ROUND_FACTOR * self.n * self.n + 1000
-        views = self._make_views(inputs)
-        algorithms = [factory(view) for view in views]
-        stats = RunStats(word_bits=self.word_bits)
-        timeline: list[RoundRecord] | None = [] if trace else None
-
-        pending: dict[int, dict[int, Any]] = {i: {} for i in range(self.n)}
-        for alg in algorithms:
-            self._collect(alg, alg.on_start(), pending, stats)
-        if timeline is not None:
-            timeline.append(
-                RoundRecord(
-                    round_index=0,
-                    messages=stats.messages,
-                    words=stats.total_words,
-                    active_nodes=sum(1 for a in algorithms if not a.done),
-                )
-            )
-
-        while not all(alg.done for alg in algorithms):
-            if stats.rounds >= max_rounds:
-                raise RoundLimitError(
-                    f"no termination within {max_rounds} rounds "
-                    f"({sum(1 for a in algorithms if not a.done)} nodes alive)"
-                )
-            stats.rounds += 1
-            before_messages = stats.messages
-            before_words = stats.total_words
-            inboxes, pending = pending, {i: {} for i in range(self.n)}
-            for alg in algorithms:
-                if alg.done:
-                    continue
-                outbox = alg.on_round(inboxes[alg.node.id])
-                # A node may send a final outbox in the round it finishes.
-                self._collect(alg, outbox, pending, stats)
-            if timeline is not None:
-                timeline.append(
-                    RoundRecord(
-                        round_index=stats.rounds,
-                        messages=stats.messages - before_messages,
-                        words=stats.total_words - before_words,
-                        active_nodes=sum(1 for a in algorithms if not a.done),
-                    )
-                )
-
-        outputs = {
-            self._label_of[alg.node.id]: alg.output for alg in algorithms
-        }
-        by_id = {alg.node.id: alg.output for alg in algorithms}
-        return RunResult(
-            outputs=outputs, stats=stats, by_id=by_id, trace=timeline
+        return self._engine.run(
+            factory, inputs=inputs, max_rounds=max_rounds, trace=trace
         )
 
     def _collect(

@@ -105,6 +105,11 @@ class BfsTreeAlgorithm(NodeAlgorithm):
                 self._complete()
         return outbox
 
+    def wants_wake(self) -> bool:
+        # Before joining, the node is purely reactive (an empty inbox is a
+        # no-op); after joining it counts rounds and must run every round.
+        return self.depth is not None
+
 
 class ConvergecastAlgorithm(NodeAlgorithm):
     """Pipeline tokens up a previously built BFS tree to the root.
@@ -152,6 +157,14 @@ class ConvergecastAlgorithm(NodeAlgorithm):
 
     def on_round(self, inbox: Inbox) -> Outbox:
         return self._step(inbox)
+
+    def wants_wake(self) -> bool:
+        # Tokens still queued -> keep draining one per round; all children
+        # reported -> one more run to finish (and send DONE upward).
+        # Otherwise the node only reacts to arriving tokens/DONEs.
+        if self.parent < 0:
+            return not self.waiting_children
+        return bool(self.queue) or not self.waiting_children
 
 
 class BroadcastAlgorithm(NodeAlgorithm):
@@ -215,6 +228,11 @@ class BroadcastAlgorithm(NodeAlgorithm):
         if self.children:
             return {child: msg for child in self.children}
         return None
+
+    def wants_wake(self) -> bool:
+        # The root drives the pipeline while it has tokens left; everyone
+        # else only relays what arrives from the parent.
+        return self.parent < 0 and bool(self.to_send)
 
 
 # -- standalone drivers ----------------------------------------------------

@@ -1,0 +1,108 @@
+"""Activity bookkeeping for the event-driven engine (engine v2).
+
+The reference engine wakes every live node every round and rebuilds all
+per-node inbox dictionaries from scratch.  At scale that overhead dominates:
+in a pipelined convergecast on a path almost every node is silent almost
+every round.  This module provides the two data structures engine v2 uses to
+exploit that sparsity:
+
+* :class:`MailboxRing` — double-buffered, reusable per-node inboxes.  Sends
+  of round ``r`` accumulate in the *back* buffers; :meth:`MailboxRing.flip`
+  promotes them to *front* for delivery in round ``r + 1`` and recycles the
+  previous front dictionaries in place (only the ones that actually held
+  traffic are cleared).  No dictionaries are allocated after construction.
+* :class:`ActivityScheduler` — the live-node counter and self-wake set.
+  Quiescence is detected by decrementing ``live`` when a node finishes
+  instead of scanning every algorithm every round, and the runnable set of
+  a round is exactly ``self-wakes | nodes-with-pending-traffic``.
+
+A delivered inbox dictionary is only valid during the round it is delivered
+in; the engine reuses it two rounds later.  Node algorithms must copy
+anything they want to keep — the contract stated on
+:meth:`~repro.congest.algorithm.NodeAlgorithm.on_round` (the reference
+engine hands out fresh dictionaries, so holding one was never useful, but
+only under this engine does holding one actually go wrong).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Set
+from typing import Any
+
+
+class MailboxRing:
+    """Double-buffered per-node inbox dictionaries, reused across rounds."""
+
+    __slots__ = ("_front", "_back", "_front_dirty", "_back_dirty")
+
+    def __init__(self, n: int) -> None:
+        self._front: list[dict[int, Any]] = [{} for _ in range(n)]
+        self._back: list[dict[int, Any]] = [{} for _ in range(n)]
+        #: Nodes whose front (being consumed) / back (accumulating) buffer
+        #: holds traffic.  Only dirty buffers are ever cleared.
+        self._front_dirty: set[int] = set()
+        self._back_dirty: set[int] = set()
+
+    def post(self, sender: int, target: int, payload: Any) -> None:
+        """Queue ``payload`` for delivery to ``target`` next round."""
+        self._back[target][sender] = payload
+        self._back_dirty.add(target)
+
+    def flip(self) -> Set[int]:
+        """Start a new round: promote queued traffic to deliverable.
+
+        Returns the set of nodes with traffic to consume this round.  The
+        returned set is internal state — callers must not mutate it.
+        """
+        for node_id in self._front_dirty:
+            self._front[node_id].clear()
+        self._front_dirty.clear()
+        self._front, self._back = self._back, self._front
+        self._front_dirty, self._back_dirty = (
+            self._back_dirty,
+            self._front_dirty,
+        )
+        return self._front_dirty
+
+    def inbox(self, node_id: int) -> dict[int, Any]:
+        """The inbox delivered to ``node_id`` this round (possibly empty)."""
+        return self._front[node_id]
+
+    def has_pending(self) -> bool:
+        """Whether any traffic is queued for delivery next round."""
+        return bool(self._back_dirty)
+
+
+class ActivityScheduler:
+    """Tracks which nodes are alive and which must run next round.
+
+    A node runs in a round iff it has pending inbox traffic or it asked to
+    be woken (:meth:`request_wake`).  ``live`` counts unfinished nodes; the
+    engine's quiescence test is ``live == 0`` — O(1) instead of the
+    reference engine's every-round scan over all algorithms.
+    """
+
+    __slots__ = ("live", "_wake")
+
+    def __init__(self, n: int) -> None:
+        self.live = n
+        self._wake: set[int] = set()
+
+    def request_wake(self, node_id: int) -> None:
+        """Ensure ``node_id`` is invoked next round even without traffic."""
+        self._wake.add(node_id)
+
+    def node_finished(self) -> None:
+        """Record that one node called ``finish``."""
+        self.live -= 1
+
+    def runnable(self, traffic: Iterable[int]) -> list[int]:
+        """Consume the wake set; return this round's nodes in id order.
+
+        Ascending id order matches the reference engine's invocation order,
+        which keeps inbox insertion order — and therefore any
+        order-sensitive algorithm behavior — byte-identical between engines.
+        """
+        ids = sorted(self._wake.union(traffic))
+        self._wake.clear()
+        return ids

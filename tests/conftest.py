@@ -28,6 +28,17 @@ def medium_connected() -> nx.Graph:
     return gnp_graph(24, 0.15, seed=5)
 
 
+@pytest.fixture(params=["v1", "v2"], ids=["engine-v1", "engine-v2"])
+def engine_name(request) -> str:
+    """Simulator engine under test.
+
+    Parametrizes the parity/invariant suites over both execution engines so
+    every property is checked on the reference loop and on the
+    activity-scheduled runtime.
+    """
+    return request.param
+
+
 @pytest.fixture(params=["gnp", "tree", "geometric"])
 def workload(request) -> nx.Graph:
     if request.param == "gnp":

@@ -177,6 +177,51 @@ class TestMetering:
         assert c.messages == 4
         assert c.total_words == 7
 
+    def test_stats_addition_rejects_mismatched_word_bits(self):
+        # Summing word counts measured in different word sizes would
+        # misreport total_bits; the old behavior silently took the max.
+        a = RunStats(total_words=10, word_bits=4)
+        b = RunStats(total_words=10, word_bits=6)
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_stats_addition_normalizes_zero_word_bits(self):
+        # A default-constructed accumulator adopts the other side's word
+        # size, in either order.
+        real = RunStats(rounds=1, total_words=3, word_bits=5)
+        assert (RunStats() + real).word_bits == 5
+        assert (real + RunStats()).word_bits == 5
+        assert (RunStats() + real).total_bits == 15
+
+
+class TestAdjacency:
+    def test_star_hub_membership(self):
+        # Regression: _can_send used a linear scan over the sorted neighbor
+        # tuple, making every hub send O(degree) on a star.  Adjacency is
+        # now also kept as a frozenset for O(1) membership; semantics must
+        # be unchanged.
+        n = 64
+        net = CongestNetwork(nx.star_graph(n - 1))
+        hub = net.id_of(0)
+        leaves = [net.id_of(v) for v in range(1, n)]
+        assert all(net._can_send(hub, leaf) for leaf in leaves)
+        assert all(net._can_send(leaf, hub) for leaf in leaves)
+        assert not net._can_send(leaves[0], leaves[1])
+        assert not net._can_send(hub, hub)
+
+    def test_set_adjacency_matches_tuple_adjacency(self):
+        net = CongestNetwork(nx.star_graph(40))
+        for node_id in net.ids():
+            neighbors = net.neighbors_of(node_id)
+            assert neighbors == tuple(sorted(neighbors))
+            assert isinstance(net._adjacency_sets[node_id], frozenset)
+            assert net._adjacency_sets[node_id] == set(neighbors)
+
+    def test_star_ping_exchange_counts(self):
+        g = nx.star_graph(49)
+        result = CongestNetwork(g).run(PingNeighbors)
+        assert result.stats.messages == 2 * g.number_of_edges()
+
 
 class TestStages:
     def test_state_carries_between_stages(self):
