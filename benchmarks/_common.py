@@ -1,35 +1,46 @@
-"""Shared table formatting for the benchmark harness.
+"""Shared harness for the benchmark suite: tables + grid evaluation.
 
-Every benchmark regenerates one of the paper's claims (see DESIGN.md's
-experiment index) and prints it as a small table; run pytest with ``-s``
-to see them.  The assertions inside each benchmark check the claim's
-*shape* (who wins, how quantities scale), so the harness doubles as a
-verification suite.
+Every benchmark regenerates one of the paper's claims (the experiment
+index mapping each ``bench_eNN`` module to its claim lives in `DESIGN.md
+<../DESIGN.md>`_ at the repository root) and prints it as a small table;
+run pytest with ``-s`` to see them.  The assertions inside each benchmark
+check the claim's *shape* (who wins, how quantities scale), so the harness
+doubles as a verification suite.
+
+Grid-shaped benchmarks declare their cells in :mod:`repro.sweep.grids` and
+evaluate them through :func:`evaluate_grid` below — serially in-process by
+default (the deterministic pytest path), or over a process pool when
+``REPRO_SWEEP_JOBS`` is set.  The same grids are runnable in parallel from
+the CLI: ``python -m repro sweep --grid e01 --jobs 4``.
 """
 
 from __future__ import annotations
 
-import time
-from collections.abc import Callable, Iterable, Sequence
-from typing import Any, TypeVar
+import os
+from collections.abc import Iterable, Sequence
 
-T = TypeVar("T")
+from repro.sweep import GridSpec, SweepResult, run_sweep
+
+#: Environment override for benchmark grid parallelism (default: serial).
+JOBS_ENV_VAR = "REPRO_SWEEP_JOBS"
 
 
-def best_time(fn: Callable[[], T], repeats: int = 3) -> tuple[T, float]:
-    """Run ``fn`` ``repeats`` times; return ``(last_result, best_seconds)``.
+def evaluate_grid(
+    grid: GridSpec,
+    jobs: int | None = None,
+    repeats: int = 1,
+    timeout: float | None = None,
+) -> SweepResult:
+    """Evaluate a benchmark grid through the sweep runner.
 
-    Best-of-N is the standard way to strip scheduler noise from a
-    throughput comparison; the result is returned so callers can
-    cross-check that timed runs also computed the right thing.
+    ``jobs=None`` reads :data:`JOBS_ENV_VAR` (default 1, i.e. serial and
+    in-process, which is what pytest assertions rely on for timing-free
+    determinism).  The merged result is identical for every ``jobs`` value;
+    only wall-clock differs.
     """
-    best = float("inf")
-    result: Any = None
-    for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return result, best
+    if jobs is None:
+        jobs = int(os.environ.get(JOBS_ENV_VAR, "1") or "1")
+    return run_sweep(grid, jobs=jobs, repeats=repeats, timeout=timeout)
 
 
 def print_table(

@@ -3,6 +3,10 @@
 Regenerates the theorem's two claims as a table: the measured
 approximation ratio never exceeds 1+eps, and rounds scale linearly in
 ``n`` and in ``1/eps`` (rounds / (n/eps) stays bounded as n doubles).
+
+The grid cells live in :func:`repro.sweep.grids.e01_grid` and are evaluated
+through the sweep runner, so ``python -m repro sweep --grid e01 --jobs 4``
+runs exactly these cells in parallel.
 """
 
 from __future__ import annotations
@@ -12,33 +16,26 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import print_table
+from _common import evaluate_grid, print_table
 
 from repro.core.mvc_congest import approx_mvc_square
-from repro.exact.vertex_cover import minimum_vertex_cover
 from repro.graphs.generators import gnp_graph
 from repro.graphs.power import square
 from repro.graphs.validation import assert_vertex_cover
-
-SIZES = (24, 48, 96)
-EPSILONS = (0.5, 0.25)
+from repro.sweep.grids import e01_grid
 
 
 def _run_grid():
     rows = []
     normalized = []
-    for eps in EPSILONS:
-        for n in SIZES:
-            graph = gnp_graph(n, min(0.3, 5.0 / n), seed=n)
-            result = approx_mvc_square(graph, eps, seed=n)
-            sq = square(graph)
-            assert_vertex_cover(sq, result.cover)
-            opt = len(minimum_vertex_cover(sq))
-            ratio = len(result.cover) / opt
-            assert ratio <= 1 + eps + 1e-9
-            norm = result.stats.rounds / (n / eps)
-            normalized.append(norm)
-            rows.append((n, eps, result.stats.rounds, norm, ratio, 1 + eps))
+    for cell, payload in evaluate_grid(e01_grid()).ok_payloads():
+        eps = cell.eps
+        ratio = payload["ratio"]
+        assert ratio <= 1 + eps + 1e-9
+        rounds = payload["stats"]["rounds"]
+        norm = rounds / (cell.n / eps)
+        normalized.append(norm)
+        rows.append((cell.n, eps, rounds, norm, ratio, 1 + eps))
     return rows, normalized
 
 
@@ -49,6 +46,7 @@ def test_theorem1_round_scaling(benchmark):
         ["n", "eps", "rounds", "rounds/(n/eps)", "ratio", "guarantee"],
         rows,
     )
+    assert len(rows) == len(e01_grid())
     # Shape: the normalized round count stays within a constant band.
     assert max(normalized) <= 6 * min(normalized)
     assert max(normalized) < 8.0

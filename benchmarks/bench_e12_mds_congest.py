@@ -3,6 +3,10 @@
 Tables: (i) estimator concentration (max relative error shrinks with the
 sample count — Lemma 30's Cramer bound); (ii) the MDS pipeline's
 approximation ratio and polylog phase counts across growing networks.
+
+Both grids live in :mod:`repro.sweep.grids` (``e12-estimator`` and
+``e12-mds``) and are evaluated through the sweep runner; the CLI runs the
+same cells in parallel via ``python -m repro sweep --grid e12-mds --jobs 4``.
 """
 
 from __future__ import annotations
@@ -13,51 +17,38 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import print_table
+from _common import evaluate_grid, print_table
 
-from repro.congest.network import CongestNetwork
-from repro.core.estimation import estimate_neighborhood_sizes
-from repro.core.mds_congest import approx_mds_square
-from repro.exact.dominating_set import minimum_dominating_set
-from repro.graphs.generators import gnp_graph
-from repro.graphs.power import square, two_hop_neighbors
-from repro.graphs.validation import assert_dominating_set
+from repro.sweep.grids import e12_estimator_grid, e12_mds_grid
 
 
 def _estimator_rows():
-    graph = gnp_graph(24, 0.2, seed=2)
-    truth = {
-        v: len((two_hop_neighbors(graph, v) | {v}))
-        for v in graph.nodes
-    }
     rows = []
-    for samples in (8, 32, 128, 512):
-        net = CongestNetwork(graph, seed=3)
-        estimates, result = estimate_neighborhood_sizes(
-            net, members=list(graph.nodes), samples=samples
-        )
-        errors = [
-            abs(estimates[v] - truth[v]) / truth[v] for v in graph.nodes
-        ]
+    for cell, payload in evaluate_grid(e12_estimator_grid()).ok_payloads():
         rows.append(
-            (samples, result.stats.rounds, max(errors),
-             sum(errors) / len(errors))
+            (
+                payload["samples"],
+                payload["stats"]["rounds"],
+                payload["max_rel_err"],
+                payload["mean_rel_err"],
+            )
         )
     return rows
 
 
 def _mds_rows():
     rows = []
-    for n in (16, 32):
-        graph = gnp_graph(n, 4.0 / n, seed=n)
-        sq = square(graph)
-        result = approx_mds_square(graph, seed=n)
-        assert_dominating_set(sq, result.cover)
-        opt = len(minimum_dominating_set(sq))
-        delta = max(dict(graph.degree).values())
+    for cell, payload in evaluate_grid(e12_mds_grid()).ok_payloads():
         rows.append(
-            (n, len(result.cover), opt, len(result.cover) / opt,
-             result.detail["phases"], result.stats.rounds, delta)
+            (
+                cell.n,
+                payload["cover_size"],
+                payload["opt"],
+                payload["ratio"],
+                payload["phases"],
+                payload["stats"]["rounds"],
+                payload["max_degree"],
+            )
         )
     return rows
 

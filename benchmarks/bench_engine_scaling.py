@@ -8,6 +8,11 @@ workloads where most nodes are silent most rounds — pipelined convergecast
 and broadcast on low-degree graphs — and still wins on chatty Phase-I style
 workloads through buffer reuse, O(1) adjacency checks and metering caches.
 
+The (scenario, n, engine) cells live in
+:func:`repro.sweep.grids.engine_scaling_grid` and are evaluated through the
+sweep runner (serially — per-cell timings are the point here); the CLI runs
+the same cells with ``python -m repro sweep --grid engine-scaling``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine_scaling.py [--quick]
@@ -25,101 +30,45 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import best_time, print_table
+from _common import print_table
 
-from repro.congest.network import CongestNetwork
-from repro.congest.primitives import broadcast_tokens, convergecast_tokens
-from repro.core.mvc_congest import approx_mvc_square
-from repro.core.mds_congest import approx_mds_square
-from repro.graphs.generators import (
-    gnp_graph,
-    path_graph,
-    power_law_graph,
-    star_graph,
-)
-
-ENGINES = ("v1", "v2")
-PIPELINE_TOKENS = 16
+from repro.sweep import run_sweep
+from repro.sweep.grids import engine_scaling_grid, scenario_of
 
 
-def _pipeline_path(n: int, engine: str):
-    """BFS + convergecast of a token batch from the far leaf of a path.
+def run_scaling_sweep(quick: bool, repeats: int):
+    grid = engine_scaling_grid(quick=quick)
+    sweep = run_sweep(grid, jobs=1, repeats=repeats)
+    sweep.ok_payloads()  # raises with details if any cell failed
+    by_point: dict[tuple[str, int], dict[str, object]] = {}
+    for result in sweep:
+        cell = result.cell
+        point = by_point.setdefault((scenario_of(cell), cell.n), {})
+        point[cell.engine] = result.payload
+        point[f"{cell.engine}-seconds"] = result.seconds
 
-    The canonical sparse-activity workload: outside the token front almost
-    every node is idle almost every round."""
-    net = CongestNetwork(path_graph(n), seed=1, engine=engine)
-    tokens = {0: [(i, i) for i in range(PIPELINE_TOKENS)]}
-    collected, combined = convergecast_tokens(net, tokens)
-    return tuple(collected), combined.stats
-
-
-def _broadcast_star(n: int, engine: str):
-    """BFS + token broadcast on a high-degree star."""
-    net = CongestNetwork(star_graph(n), seed=1, engine=engine)
-    result, _bfs = broadcast_tokens(net, [(i,) for i in range(PIPELINE_TOKENS)])
-    return result.outputs[0], result.stats
-
-
-def _mvc_er(n: int, engine: str):
-    """Algorithm 1 on a sparse ER graph (chatty Phase I dominates)."""
-    graph = gnp_graph(n, min(0.3, 5.0 / n), seed=n)
-    result = approx_mvc_square(graph, 0.5, seed=n, engine=engine)
-    return frozenset(result.cover), result.stats
-
-
-def _mvc_power_law(n: int, engine: str):
-    graph = power_law_graph(n, m=2, seed=n)
-    result = approx_mvc_square(graph, 0.5, seed=n, engine=engine)
-    return frozenset(result.cover), result.stats
-
-
-def _mds_er(n: int, engine: str):
-    """Theorem 28 MDS pipeline (estimation stages, BFS termination checks)."""
-    graph = gnp_graph(n, min(0.3, 5.0 / n), seed=n)
-    result = approx_mds_square(graph, seed=n, engine=engine)
-    return frozenset(result.cover), result.stats
-
-
-SCENARIOS = (
-    # (name, runner, full sizes, quick sizes)
-    ("pipeline-path", _pipeline_path, (120, 240, 480), (240,)),
-    ("broadcast-star", _broadcast_star, (100, 200, 400), (200,)),
-    ("mvc-er", _mvc_er, (60, 120, 240), (120,)),
-    ("mvc-power-law", _mvc_power_law, (60, 120), (60,)),
-    ("mds-er", _mds_er, (32, 48), ()),
-)
-
-
-def run_sweep(quick: bool, repeats: int):
     rows = []
     speedups = {}
-    for name, runner, sizes, quick_sizes in SCENARIOS:
-        for n in quick_sizes if quick else sizes:
-            timings = {}
-            signatures = {}
-            for engine in ENGINES:
-                signatures[engine], timings[engine] = best_time(
-                    lambda runner=runner, n=n, engine=engine: runner(n, engine),
-                    repeats=repeats,
-                )
-            if signatures["v1"] != signatures["v2"]:
-                raise AssertionError(
-                    f"engine parity violated on {name} n={n}: "
-                    f"{signatures['v1']} != {signatures['v2']}"
-                )
-            speedup = timings["v1"] / timings["v2"]
-            speedups[(name, n)] = speedup
-            rows.append(
-                (
-                    name,
-                    n,
-                    signatures["v1"][1].rounds,
-                    signatures["v1"][1].messages,
-                    timings["v1"] * 1e3,
-                    timings["v2"] * 1e3,
-                    speedup,
-                )
+    for (name, n), point in by_point.items():
+        if point["v1"] != point["v2"]:
+            raise AssertionError(
+                f"engine parity violated on {name} n={n}: "
+                f"{point['v1']} != {point['v2']}"
             )
+        speedup = point["v1-seconds"] / point["v2-seconds"]
+        speedups[(name, n)] = speedup
+        stats = point["v1"]["stats"]
+        rows.append(
+            (
+                name,
+                n,
+                stats["rounds"],
+                stats["messages"],
+                point["v1-seconds"] * 1e3,
+                point["v2-seconds"] * 1e3,
+                speedup,
+            )
+        )
     return rows, speedups
 
 
@@ -135,7 +84,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     repeats = max(1, args.repeats if not args.quick else min(args.repeats, 2))
 
-    rows, speedups = run_sweep(args.quick, repeats)
+    rows, speedups = run_scaling_sweep(args.quick, repeats)
     print_table(
         "Engine scaling: v1 (reference) vs v2 (activity-scheduled)",
         ["scenario", "n", "rounds", "messages", "v1 ms", "v2 ms", "speedup"],

@@ -13,16 +13,22 @@ Commands
     Theorem 19 quantities.
 ``verify``
     Re-run the exact-solver verification of a family's predicate over
-    sampled inputs (the repository's "trust but check" button).
+    sampled inputs (the repository's "trust but check" button); ``--jobs``
+    fans the samples out over worker processes.
+``sweep``
+    Evaluate a benchmark grid — named (``--grid e01``) or ad-hoc
+    (``--task``/``--graphs``/``--ns``/...) — serially or over a process
+    pool (``--jobs``), printing a merged table and optionally writing
+    machine-readable JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
-
-import networkx as nx
+from pathlib import Path
 
 from repro.core.mds_congest import approx_mds_square
 from repro.core.mvc_centralized import five_thirds_mvc_square
@@ -31,50 +37,36 @@ from repro.core.mvc_clique import (
     approx_mvc_square_clique_randomized,
 )
 from repro.core.mvc_congest import approx_mvc_square
-from repro.exact.dominating_set import (
-    minimum_dominating_set,
-    minimum_weighted_dominating_set,
-)
-from repro.exact.vertex_cover import (
-    minimum_vertex_cover,
-    minimum_weighted_vertex_cover,
-)
-from repro.graphs.generators import (
-    gnp_graph,
-    grid_graph,
-    random_geometric,
-    random_tree,
-)
+from repro.exact.dominating_set import minimum_dominating_set
+from repro.exact.vertex_cover import minimum_vertex_cover
+from repro.graphs.generators import GRAPH_KINDS, build_graph
 from repro.graphs.power import square
 from repro.graphs.validation import (
     assert_dominating_set,
     assert_vertex_cover,
 )
-from repro.lowerbounds.bcd19 import bcd19_threshold, build_bcd19_mds
-from repro.lowerbounds.ckp17 import build_ckp17_mvc, ckp17_threshold
+from repro.lowerbounds.bcd19 import build_bcd19_mds
+from repro.lowerbounds.ckp17 import build_ckp17_mvc
 from repro.lowerbounds.disjointness import disj, random_instance
 from repro.lowerbounds.framework import implied_round_lower_bound
 from repro.lowerbounds.mds_square_gap import (
     GapConstructionParams,
     build_gap_family,
 )
-
-
-def _build_graph(kind: str, n: int, seed: int) -> nx.Graph:
-    if kind == "gnp":
-        return gnp_graph(n, min(0.3, 5.0 / max(n, 2)), seed=seed)
-    if kind == "geometric":
-        return random_geometric(n, seed=seed)
-    if kind == "tree":
-        return random_tree(n, seed=seed)
-    if kind == "grid":
-        side = max(2, int(n ** 0.5))
-        return grid_graph(side, side)
-    raise ValueError(f"unknown graph kind {kind!r}")
+from repro.sweep import (
+    TABLE_HEADER,
+    Cell,
+    GridSpec,
+    expand_grid,
+    named_grid,
+    run_sweep,
+)
+from repro.sweep.grids import NAMED_GRIDS
+from repro.sweep.tasks import task_names
 
 
 def _cmd_mvc(args: argparse.Namespace) -> int:
-    graph = _build_graph(args.graph, args.n, args.seed)
+    graph = build_graph(args.graph, args.n, seed=args.seed)
     sq = square(graph)
     if args.model == "congest":
         result = approx_mvc_square(
@@ -112,7 +104,7 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
 
 
 def _cmd_mds(args: argparse.Namespace) -> int:
-    graph = _build_graph(args.graph, args.n, args.seed)
+    graph = build_graph(args.graph, args.n, seed=args.seed)
     sq = square(graph)
     result = approx_mds_square(graph, seed=args.seed, engine=args.engine)
     assert_dominating_set(sq, result.cover)
@@ -148,40 +140,105 @@ def _cmd_gallery(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verify_grid(family: str, k: int, samples: int) -> GridSpec:
+    """One verification cell per sampled seed, all through the sweep runner."""
+    cells = tuple(
+        Cell(task=f"verify-{family}", n=0, seed=seed, params=(("k", k),))
+        for seed in range(samples)
+    )
+    return GridSpec(name=f"verify-{family}", cells=cells)
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
+    grid = _verify_grid(args.family, args.k, args.samples)
+    sweep = run_sweep(grid, jobs=args.jobs)
     failures = 0
-    for seed in range(args.samples):
-        x, y = random_instance(args.k, seed=seed)
-        if args.family == "ckp17":
-            fam = build_ckp17_mvc(x, y, args.k)
-            value = len(minimum_vertex_cover(fam.graph))
-            tight = value == ckp17_threshold(args.k)
-        elif args.family == "bcd19":
-            fam = build_bcd19_mds(x, y, args.k)
-            value = len(minimum_dominating_set(fam.graph))
-            tight = value <= bcd19_threshold(args.k)
-        else:
-            params = GapConstructionParams()
-            small_x = frozenset(p for p in x if p[0] <= 3 and p[1] <= 3)
-            small_y = frozenset(p for p in y if p[0] <= 3 and p[1] <= 3)
-            weighted = args.family == "gap-weighted"
-            fam = build_gap_family(small_x, small_y, params, weighted=weighted)
-            sq = square(fam.graph)
-            if weighted:
-                weights = fam.extra["weights"]
-                ds = minimum_weighted_dominating_set(sq, weights)
-                value = sum(weights[v] for v in ds)
-            else:
-                value = len(minimum_dominating_set(sq))
-            tight = value <= fam.threshold
-        expected = not disj(fam.x, fam.y)
-        status = "ok" if tight == expected else "FAIL"
-        if tight != expected:
+    for result in sweep:
+        if not result.ok:
             failures += 1
-        print(f"seed={seed}: optimum={value} threshold={fam.threshold} "
-              f"intersecting={expected} -> {status}")
+            print(f"seed={result.cell.seed}: {result.status} "
+                  f"({(result.error or '').strip().splitlines()[-1]})")
+            continue
+        payload = result.payload or {}
+        ok = payload["ok"]
+        if not ok:
+            failures += 1
+        print(f"seed={result.cell.seed}: optimum={payload['value']} "
+              f"threshold={payload['threshold']} "
+              f"intersecting={payload['intersecting']} "
+              f"-> {'ok' if ok else 'FAIL'}")
     print(f"{args.samples - failures}/{args.samples} instances verified")
     return 1 if failures else 0
+
+
+def _parse_list(text: str, convert):
+    return tuple(convert(part) for part in text.split(",") if part)
+
+
+def _sweep_grid_from_args(args: argparse.Namespace) -> GridSpec:
+    if args.grid is not None:
+        if args.task is not None:
+            raise SystemExit("pass either --grid or --task, not both")
+        return named_grid(args.grid)
+    if args.task is None:
+        raise SystemExit("sweep requires --grid NAME or --task NAME")
+    engines: tuple[str | None, ...] = (None,)
+    if args.engines:
+        engines = _parse_list(args.engines, str)
+    epss: tuple[float | None, ...] = (None,)
+    if args.epss:
+        epss = _parse_list(args.epss, float)
+    grid = expand_grid(
+        name=f"adhoc-{args.task}",
+        task=args.task,
+        graphs=_parse_list(args.graphs, str),
+        ns=_parse_list(args.ns, int),
+        epss=epss,
+        engines=engines,
+        replicates=args.replicates,
+        base_seed=args.base_seed,
+    )
+    if not grid.cells:
+        # An empty axis (e.g. --ns "" from an unset shell variable) would
+        # otherwise "succeed" vacuously with 0 cells and exit 0.
+        raise SystemExit(
+            "sweep grid is empty; check --graphs/--ns/--epss/--engines/"
+            "--replicates for empty values"
+        )
+    return grid
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    grid = _sweep_grid_from_args(args)
+    sweep = run_sweep(
+        grid, jobs=args.jobs, timeout=args.timeout, repeats=args.repeats
+    )
+    data = sweep.to_json()
+    digest = sweep.deterministic_sha256()
+    data["deterministic_sha256"] = digest
+    if args.json is not None:
+        Path(args.json).write_text(json.dumps(data, indent=2, sort_keys=True))
+    if not args.quiet:
+        widths = (44, 8, 8, 10, 10, 18)
+        print(f"== sweep {grid.name}: {len(grid)} cells, "
+              f"jobs={args.jobs} ==")
+        print("  ".join(h.ljust(w) for h, w in zip(TABLE_HEADER, widths)))
+        for row in sweep.table_rows():
+            cells = []
+            for value, width in zip(row, widths):
+                text = f"{value:.2f}" if isinstance(value, float) else str(value)
+                cells.append(text.ljust(width))
+            print("  ".join(cells))
+        for bits, stats in sorted(sweep.aggregate_stats().items()):
+            print(f"aggregate[word_bits={bits}]: rounds={stats.rounds} "
+                  f"messages={stats.messages} words={stats.total_words} "
+                  f"bits={stats.total_bits}")
+    counts = data["counts"]
+    print(f"cells: {counts['ok']} ok, {counts['error']} error, "
+          f"{counts['timeout']} timeout in {sweep.wall_seconds:.2f}s "
+          f"(jobs={args.jobs})")
+    print(f"deterministic sha256: {digest}")
+    return 1 if sweep.failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -195,9 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     mvc.add_argument("--n", type=int, default=32)
     mvc.add_argument("--eps", type=float, default=0.5)
     mvc.add_argument("--seed", type=int, default=0)
-    mvc.add_argument(
-        "--graph", choices=("gnp", "geometric", "tree", "grid"), default="gnp"
-    )
+    mvc.add_argument("--graph", choices=GRAPH_KINDS, default="gnp")
     mvc.add_argument(
         "--model",
         choices=("congest", "clique-det", "clique-rand", "centralized"),
@@ -215,9 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     mds = sub.add_parser("mds", help="approximate MDS on G^2")
     mds.add_argument("--n", type=int, default=24)
     mds.add_argument("--seed", type=int, default=0)
-    mds.add_argument(
-        "--graph", choices=("gnp", "geometric", "tree", "grid"), default="gnp"
-    )
+    mds.add_argument("--graph", choices=GRAPH_KINDS, default="gnp")
     mds.add_argument(
         "--engine",
         choices=("v1", "v2"),
@@ -238,7 +291,74 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--family", choices=families, default="ckp17")
     verify.add_argument("--k", type=int, default=2)
     verify.add_argument("--samples", type=int, default=5)
+    verify.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sample sweep (default: serial)",
+    )
     verify.set_defaults(func=_cmd_verify)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="evaluate a benchmark grid, optionally over a process pool",
+    )
+    sweep.add_argument(
+        "--grid",
+        choices=sorted(NAMED_GRIDS),
+        default=None,
+        help="named benchmark grid (mutually exclusive with --task)",
+    )
+    sweep.add_argument(
+        "--task",
+        choices=task_names(),
+        default=None,
+        help="build an ad-hoc grid for this task instead of a named one",
+    )
+    sweep.add_argument(
+        "--graphs", default="gnp", help="comma-separated graph kinds"
+    )
+    sweep.add_argument(
+        "--ns", default="16,24", help="comma-separated graph sizes"
+    )
+    sweep.add_argument(
+        "--epss", default="", help="comma-separated epsilon values"
+    )
+    sweep.add_argument(
+        "--engines",
+        default="",
+        help="comma-separated engines (v1,v2); empty = engine default",
+    )
+    sweep.add_argument("--replicates", type=int, default=1)
+    sweep.add_argument("--base-seed", type=int, default=0)
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, in-process)",
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-cell time budget in seconds",
+    )
+    sweep.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="best-of-N timing repeats per cell",
+    )
+    sweep.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the merged results as JSON",
+    )
+    sweep.add_argument(
+        "--quiet", action="store_true", help="suppress the per-cell table"
+    )
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

@@ -13,8 +13,45 @@ Two engines implement the same synchronous-round semantics:
   message metering caches :func:`~repro.congest.message.payload_words` for
   repeated payload shapes, and quiescence is a counter decrement.
 
+The wants_wake / self-wake protocol
+-----------------------------------
+Engine v2 invokes a node in round ``r`` iff at least one of:
+
+1. the node has pending inbox traffic delivered for round ``r``, or
+2. the node's :meth:`~repro.congest.algorithm.NodeAlgorithm.wants_wake`
+   returned true when the engine last ran it (after ``on_start`` or after
+   its previous ``on_round``).
+
+``wants_wake`` is re-queried *after every invocation*, so a wake request is
+good for exactly one round — a node that wants to run every round must keep
+returning true.  The base-class default returns true, which makes every
+algorithm behave exactly as under v1 unless it opts into sleeping; only
+algorithms whose silent rounds are genuinely idle (no timers, no
+round-counting) may override it to false.  A sleeping node is woken by
+incoming traffic regardless of its ``wants_wake`` answer.  If every live
+node sleeps and no traffic is in flight, nothing can ever happen again and
+the engine reproduces the reference engine's empty-round spin up to
+``max_rounds`` (same trace, same :class:`RoundLimitError`).
+
+The v1/v2 parity contract
+-------------------------
 Both engines must produce identical outputs, statistics and traces on every
-run; ``tests/test_engine_parity.py`` enforces this differentially.
+run — same ``RunResult.outputs``/``by_id``, same ``RunStats`` field by
+field, same per-round ``RoundRecord`` timeline, and the same exceptions at
+the same rounds.  The ingredients:
+
+* nodes run in ascending id order each round (v2 sorts its runnable set);
+* messages are metered at send time in both engines, including traffic
+  addressed to already-finished nodes (metered, never delivered);
+* per-node randomness is derived from ``(seed, node_id)`` only, never from
+  invocation counts;
+* ``wants_wake`` may change *when* a node is invoked but never *what* the
+  run computes — a correct override only skips rounds the node would have
+  ignored anyway.
+
+``tests/test_engine_parity.py`` enforces the contract differentially, and
+``benchmarks/bench_engine_scaling.py`` re-checks it at benchmark scale via
+the sweep runner's per-cell engine selection.
 
 Engine selection: the ``engine=`` constructor argument of
 :class:`~repro.congest.network.CongestNetwork` wins; otherwise the

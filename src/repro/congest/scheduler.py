@@ -16,6 +16,22 @@ exploit that sparsity:
   instead of scanning every algorithm every round, and the runnable set of
   a round is exactly ``self-wakes | nodes-with-pending-traffic``.
 
+The self-wake protocol these structures implement (stated in full in
+:mod:`repro.congest.engine`): a node runs in round ``r`` iff it has traffic
+promoted by :meth:`MailboxRing.flip` or it called
+:meth:`ActivityScheduler.request_wake` after its previous invocation.  The
+wake set is consumed by :meth:`ActivityScheduler.runnable` each round, so a
+wake is good for exactly one round; the engine re-queries
+:meth:`~repro.congest.algorithm.NodeAlgorithm.wants_wake` after every
+invocation to decide whether to re-arm it.
+
+Parity with the reference engine (the v1/v2 contract of
+``tests/test_engine_parity.py``) is preserved because none of this changes
+*what* runs, only *when* nothing-to-do invocations are skipped:
+``runnable`` returns ids in ascending order (the reference invocation
+order), sends are metered identically, and a node whose ``wants_wake``
+honestly reports idleness would have ignored the skipped rounds anyway.
+
 A delivered inbox dictionary is only valid during the round it is delivered
 in; the engine reuses it two rounds later.  Node algorithms must copy
 anything they want to keep — the contract stated on

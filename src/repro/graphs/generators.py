@@ -156,6 +156,50 @@ def random_weights(
     return graph
 
 
+#: Graph kinds accepted by :func:`build_graph` (the CLI / sweep vocabulary).
+GRAPH_KINDS = (
+    "gnp",
+    "geometric",
+    "tree",
+    "grid",
+    "path",
+    "cycle",
+    "star",
+    "power-law",
+)
+
+
+def build_graph(kind: str, n: int, seed: int = 0, p: float | None = None) -> nx.Graph:
+    """Build one of the named workload graphs at size ``n``.
+
+    This is the shared vocabulary of the CLI and the sweep runner: a cell
+    spec names a kind from :data:`GRAPH_KINDS` and this function turns it
+    into a concrete connected graph.  ``p`` overrides the edge probability
+    for ``gnp`` (default ``min(0.3, 5/n)``, the sparse regime used across
+    the benchmarks).
+    """
+    if kind == "gnp":
+        if p is None:
+            p = min(0.3, 5.0 / max(n, 2))
+        return gnp_graph(n, p, seed=seed)
+    if kind == "geometric":
+        return random_geometric(n, seed=seed)
+    if kind == "tree":
+        return random_tree(n, seed=seed)
+    if kind == "grid":
+        side = max(2, int(n ** 0.5))
+        return grid_graph(side, side)
+    if kind == "path":
+        return path_graph(n)
+    if kind == "cycle":
+        return cycle_graph(n)
+    if kind == "star":
+        return star_graph(n)
+    if kind == "power-law":
+        return power_law_graph(n, m=2, seed=seed)
+    raise ValueError(f"unknown graph kind {kind!r}; choose from {GRAPH_KINDS}")
+
+
 def workload_suite(
     scale: str = "small", seed: int = 0
 ) -> Iterator[tuple[str, nx.Graph]]:

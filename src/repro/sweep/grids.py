@@ -1,0 +1,179 @@
+"""Named benchmark grids, shared by pytest benchmarks and the CLI.
+
+Each builder returns the exact cell list a benchmark module asserts over,
+so ``PYTHONPATH=src python -m pytest benchmarks/bench_e01_mvc_congest.py``
+(serial, in-process) and ``python -m repro sweep --grid e01 --jobs 4``
+(process pool) evaluate *the same cells* and merge byte-identical
+deterministic results.  Keep the numbers here in sync with the benchmark
+assertions — the grids are the single source of truth for the cells.
+"""
+
+from __future__ import annotations
+
+from repro.sweep.spec import Cell, GridSpec
+
+#: Scenario table of the engine-scaling sweep: task, (full sizes), (quick
+#: sizes).  Mirrors the original ``bench_engine_scaling`` scenarios.
+ENGINE_SCALING_SCENARIOS: tuple[tuple[str, tuple[int, ...], tuple[int, ...]], ...] = (
+    ("pipeline-path", (120, 240, 480), (240,)),
+    ("broadcast-star", (100, 200, 400), (200,)),
+    ("mvc-er", (60, 120, 240), (120,)),
+    ("mvc-power-law", (60, 120), (60,)),
+    ("mds-er", (32, 48), ()),
+)
+
+_SCENARIO_CELLS = {
+    "pipeline-path": lambda n, engine: Cell(
+        task="pipeline-path", graph="path", n=n, seed=1, engine=engine
+    ),
+    "broadcast-star": lambda n, engine: Cell(
+        task="broadcast-star", graph="star", n=n, seed=1, engine=engine
+    ),
+    "mvc-er": lambda n, engine: Cell(
+        task="mvc-congest", graph="gnp", n=n, seed=n, eps=0.5, engine=engine
+    ),
+    "mvc-power-law": lambda n, engine: Cell(
+        task="mvc-congest",
+        graph="power-law",
+        n=n,
+        seed=n,
+        eps=0.5,
+        engine=engine,
+    ),
+    "mds-er": lambda n, engine: Cell(
+        task="mds-congest", graph="gnp", n=n, seed=n, engine=engine
+    ),
+}
+
+
+def e01_grid() -> GridSpec:
+    """E01 / Theorem 1: rounds and ratio vs (n, eps) for G^2-MVC."""
+    cells = [
+        Cell(
+            task="mvc-congest",
+            graph="gnp",
+            n=n,
+            seed=n,
+            eps=eps,
+            params=(("exact", True),),
+        )
+        for eps in (0.5, 0.25)
+        for n in (24, 48, 96)
+    ]
+    return GridSpec(name="e01", cells=tuple(cells))
+
+
+def e12_estimator_grid() -> GridSpec:
+    """E12a / Lemma 29: estimator concentration vs sample count."""
+    cells = [
+        Cell(
+            task="mds-estimator",
+            graph="gnp",
+            n=24,
+            seed=3,
+            params=(("graph_seed", 2), ("gnp_p", 0.2), ("samples", s)),
+        )
+        for s in (8, 32, 128, 512)
+    ]
+    return GridSpec(name="e12-estimator", cells=tuple(cells))
+
+
+def e12_mds_grid() -> GridSpec:
+    """E12b / Theorem 28: MDS quality and phase counts vs n."""
+    cells = [
+        Cell(
+            task="mds-congest",
+            graph="gnp",
+            n=n,
+            seed=n,
+            params=(("exact", True), ("gnp_p", 4.0 / n)),
+        )
+        for n in (16, 32)
+    ]
+    return GridSpec(name="e12-mds", cells=tuple(cells))
+
+
+def engine_scaling_grid(quick: bool = False) -> GridSpec:
+    """Engine v1-vs-v2 differential sweep across scenario x size.
+
+    Adjacent (v1, v2) cell pairs per (scenario, n); the benchmark checks
+    payload parity within each pair and computes wall-clock speedups.
+    """
+    cells = []
+    for name, sizes, quick_sizes in ENGINE_SCALING_SCENARIOS:
+        for n in quick_sizes if quick else sizes:
+            for engine in ("v1", "v2"):
+                cells.append(_SCENARIO_CELLS[name](n, engine))
+    return GridSpec(
+        name="engine-scaling-quick" if quick else "engine-scaling",
+        cells=tuple(cells),
+    )
+
+
+def smoke_grid() -> GridSpec:
+    """Small mixed grid for CI smoke runs (seconds, not minutes)."""
+    cells = [
+        Cell(task="mvc-congest", graph="gnp", n=14, seed=2, eps=0.5),
+        Cell(task="mvc-congest", graph="tree", n=12, seed=3, eps=0.5),
+        Cell(task="mvc-congest", graph="grid", n=9, seed=0, eps=0.25),
+        Cell(task="mds-congest", graph="gnp", n=12, seed=5),
+        Cell(task="pipeline-path", graph="path", n=40, seed=1),
+        Cell(task="broadcast-star", graph="star", n=30, seed=1),
+        Cell(task="verify-ckp17", n=0, seed=0, params=(("k", 2),)),
+        Cell(task="verify-bcd19", n=0, seed=1, params=(("k", 2),)),
+    ]
+    return GridSpec(name="smoke", cells=tuple(cells))
+
+
+def parallel_bench_grid() -> GridSpec:
+    """The >= 24-cell grid behind ``benchmarks/bench_sweep_parallel.py``.
+
+    Homogeneous, CPU-bound cells sized so the serial run takes tens of
+    seconds — the regime where a process pool's speedup is measurable.
+    """
+    cells = [
+        Cell(
+            task="mvc-congest",
+            graph="gnp",
+            n=160,
+            seed=seed,
+            eps=0.5,
+            engine=engine,
+        )
+        for seed in range(12)
+        for engine in ("v1", "v2")
+    ]
+    return GridSpec(name="parallel-bench", cells=tuple(cells))
+
+
+def scenario_of(cell: Cell) -> str:
+    """Scenario name of an engine-scaling cell (inverse of the cell table)."""
+    by_coords = {
+        ("pipeline-path", "path"): "pipeline-path",
+        ("broadcast-star", "star"): "broadcast-star",
+        ("mvc-congest", "gnp"): "mvc-er",
+        ("mvc-congest", "power-law"): "mvc-power-law",
+        ("mds-congest", "gnp"): "mds-er",
+    }
+    return by_coords[(cell.task, cell.graph)]
+
+
+NAMED_GRIDS = {
+    "e01": e01_grid,
+    "e12-estimator": e12_estimator_grid,
+    "e12-mds": e12_mds_grid,
+    "engine-scaling": engine_scaling_grid,
+    "engine-scaling-quick": lambda: engine_scaling_grid(quick=True),
+    "smoke": smoke_grid,
+    "parallel-bench": parallel_bench_grid,
+}
+
+
+def named_grid(name: str) -> GridSpec:
+    try:
+        builder = NAMED_GRIDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown grid {name!r}; choose from {sorted(NAMED_GRIDS)}"
+        ) from None
+    return builder()

@@ -1,0 +1,362 @@
+"""Sweep execution: serial or process-pool, with identical merged results.
+
+:func:`run_sweep` evaluates every cell of a :class:`~repro.sweep.spec.GridSpec`
+through the task registry and merges the outcomes into a
+:class:`SweepResult`.  ``jobs=1`` evaluates in-process (the pytest and
+benchmark path); ``jobs>1`` fans cells out over a ``multiprocessing`` pool
+(the CLI path).  Because cells are self-contained and deterministically
+seeded, the two paths produce byte-identical deterministic payloads — only
+wall-clock fields differ, and those are kept out of
+:meth:`SweepResult.deterministic_json` precisely so the equality is
+checkable (``tests/test_sweep.py`` does).
+
+Failure handling: a task that raises is captured as a ``status="error"``
+cell result carrying the formatted traceback; a task that exceeds the
+per-cell ``timeout`` is captured as ``status="timeout"`` (implemented with
+``SIGALRM``, so it works identically inside pool workers and in serial runs
+on the main thread).  Neither aborts the sweep — the merged table reports
+every cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from repro.congest.network import RunStats
+from repro.sweep.spec import Cell, GridSpec
+from repro.sweep.tasks import get_task, stats_from_json
+
+#: Cap on the traceback text shipped back from a failed worker.
+_ERROR_LIMIT = 4000
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+class CellTimeoutError(Exception):
+    """Raised inside a worker when a cell exceeds its time budget."""
+
+
+@dataclass
+class CellResult:
+    """Outcome of evaluating one cell."""
+
+    cell: Cell
+    status: str
+    payload: dict[str, Any] | None = None
+    error: str | None = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def stats(self) -> RunStats | None:
+        """The cell's simulator stats, if the task reported any."""
+        if self.payload and "stats" in self.payload:
+            return stats_from_json(self.payload["stats"])
+        return None
+
+    def to_json(self, include_timing: bool = True) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "cell": self.cell.to_json(),
+            "key": self.cell.key,
+            "status": self.status,
+            "payload": self.payload,
+            "error": self.error,
+        }
+        if include_timing:
+            data["seconds"] = self.seconds
+        return data
+
+
+@dataclass
+class SweepResult:
+    """Merged outcome of one grid evaluation."""
+
+    grid: GridSpec
+    results: list[CellResult]
+    jobs: int
+    wall_seconds: float
+
+    def __post_init__(self) -> None:
+        self.results = sorted(self.results, key=lambda r: r.cell.index)
+
+    # -- queries -----------------------------------------------------------
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def failures(self) -> list[CellResult]:
+        return [r for r in self.results if not r.ok]
+
+    def ok_payloads(self) -> list[tuple[Cell, dict[str, Any]]]:
+        """(cell, payload) for successful cells; raises if any cell failed.
+
+        Benchmarks use this as their "everything ran" guard before reading
+        numbers out of the merged table.
+        """
+        if self.failures:
+            first = self.failures[0]
+            raise RuntimeError(
+                f"{len(self.failures)} cell(s) failed; first: "
+                f"{first.cell.key} [{first.status}] {first.error}"
+            )
+        return [(r.cell, r.payload or {}) for r in self.results]
+
+    def aggregate_stats(self) -> dict[int, RunStats]:
+        """Summed simulator stats per word size.
+
+        ``RunStats.__add__`` refuses to mix word sizes (word counts are not
+        commensurable across them), so aggregation buckets by ``word_bits``
+        and sums within each bucket.
+        """
+        buckets: dict[int, RunStats] = {}
+        for result in self.results:
+            stats = result.stats()
+            if stats is None:
+                continue
+            if stats.word_bits in buckets:
+                buckets[stats.word_bits] = buckets[stats.word_bits] + stats
+            else:
+                buckets[stats.word_bits] = stats
+        return buckets
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self, include_timing: bool = True) -> dict[str, Any]:
+        counts = {
+            status: sum(1 for r in self.results if r.status == status)
+            for status in (STATUS_OK, STATUS_ERROR, STATUS_TIMEOUT)
+        }
+        data: dict[str, Any] = {
+            "grid": self.grid.name,
+            "cells": len(self.results),
+            "counts": counts,
+            "results": [
+                r.to_json(include_timing=include_timing)
+                for r in self.results
+            ],
+            "aggregate_stats": {
+                str(bits): {
+                    "rounds": stats.rounds,
+                    "messages": stats.messages,
+                    "total_words": stats.total_words,
+                    "total_bits": stats.total_bits,
+                    "max_words_per_edge_round": (
+                        stats.max_words_per_edge_round
+                    ),
+                    "cut_words": stats.cut_words,
+                }
+                for bits, stats in sorted(self.aggregate_stats().items())
+            },
+        }
+        if include_timing:
+            data["jobs"] = self.jobs
+            data["wall_seconds"] = self.wall_seconds
+        return data
+
+    def deterministic_json(self) -> str:
+        """Canonical JSON of everything except timing and worker count.
+
+        Two evaluations of the same grid — any ``jobs``, any machine — must
+        return equal strings; this is the sweep runner's parity contract.
+        Scope: the contract assumes no cell was classified ``timeout`` in
+        either run — cell *outcomes* are deterministic, but whether a cell
+        beats a wall-clock budget depends on machine speed and pool
+        contention, so ``timeout`` cells (included here, like every
+        failure) can legitimately differ between runs under ``--timeout``.
+        """
+        return json.dumps(
+            self.to_json(include_timing=False), sort_keys=True
+        )
+
+    def deterministic_sha256(self) -> str:
+        """Digest of :meth:`deterministic_json` — the parity fingerprint.
+
+        The single definition used by the CLI, the benchmarks and the
+        tests, so "same grid => same digest" stays comparable everywhere.
+        """
+        return hashlib.sha256(
+            self.deterministic_json().encode("utf-8")
+        ).hexdigest()
+
+    def table_rows(self) -> list[tuple[object, ...]]:
+        """Rows for ``benchmarks._common.print_table`` / the CLI table."""
+        rows: list[tuple[object, ...]] = []
+        for result in self.results:
+            stats = result.stats()
+            detail = ""
+            if result.status != STATUS_OK:
+                lines = (result.error or "").strip().splitlines()
+                detail = lines[-1][:40] if lines else result.status
+            elif result.payload:
+                sig = result.payload.get("signature")
+                detail = str(sig) if sig else ""
+            rows.append(
+                (
+                    result.cell.key,
+                    result.status,
+                    stats.rounds if stats else "-",
+                    stats.messages if stats else "-",
+                    result.seconds * 1e3,
+                    detail,
+                )
+            )
+        return rows
+
+
+TABLE_HEADER = ("cell", "status", "rounds", "messages", "ms", "detail")
+
+
+# -- cell evaluation -------------------------------------------------------
+
+
+def _alarm_handler(signum, frame):  # pragma: no cover - dispatched by OS
+    raise CellTimeoutError
+
+
+def evaluate_cell(
+    cell: Cell, timeout: float | None = None, repeats: int = 1
+) -> CellResult:
+    """Evaluate one cell, capturing failures and (optionally) timeouts.
+
+    ``repeats`` re-runs the task and keeps the best wall-clock (the payload
+    comes from the last run; tasks are deterministic, so payloads of all
+    repeats are equal) — the standard best-of-N used by the benchmarks.
+
+    The timeout uses ``SIGALRM`` and therefore only applies on the main
+    thread of a POSIX process; elsewhere it degrades to "no timeout" rather
+    than failing (the budget covers all repeats together).
+    """
+    use_alarm = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    old_handler = None
+    armed = use_alarm
+    if use_alarm:
+        old_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+
+    def _disarm() -> None:
+        nonlocal armed
+        if armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old_handler)
+            armed = False
+
+    try:
+        try:
+            task = get_task(cell.task)
+            payload: dict[str, Any] | None = None
+            best = float("inf")
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                payload = task(cell)
+                best = min(best, time.perf_counter() - start)
+        finally:
+            # Disarm before constructing any CellResult: an alarm landing
+            # after the task body would otherwise raise from a frame with
+            # no handler and abort the whole sweep instead of one cell.
+            try:
+                _disarm()
+            except CellTimeoutError:
+                # The alarm fired in the instant before setitimer(0) took
+                # effect.  The itimer is one-shot, so nothing is pending;
+                # finish the disarm (restore the handler) and fall through
+                # to whichever result the task body produced.
+                _disarm()
+        return CellResult(
+            cell=cell, status=STATUS_OK, payload=payload, seconds=best
+        )
+    except CellTimeoutError:
+        _disarm()
+        return CellResult(
+            cell=cell,
+            status=STATUS_TIMEOUT,
+            error=f"cell exceeded timeout of {timeout:g}s",
+            seconds=float(timeout or 0.0),
+        )
+    except Exception:
+        _disarm()
+        return CellResult(
+            cell=cell,
+            status=STATUS_ERROR,
+            error=traceback.format_exc(limit=20)[-_ERROR_LIMIT:],
+        )
+
+
+def _evaluate_remote(
+    packed: tuple[Cell, float | None, int]
+) -> CellResult:
+    """Pool entry point (top-level, so it pickles under any start method)."""
+    cell, timeout, repeats = packed
+    return evaluate_cell(cell, timeout=timeout, repeats=repeats)
+
+
+def run_sweep(
+    grid: GridSpec,
+    jobs: int = 1,
+    timeout: float | None = None,
+    repeats: int = 1,
+) -> SweepResult:
+    """Evaluate every cell of ``grid`` and merge the outcomes.
+
+    ``jobs=1`` runs serially in-process; ``jobs>1`` uses a process pool of
+    that many workers with one cell per task (fair scheduling for
+    heterogeneous cell costs).  Results are merged in grid order either
+    way.  A worker that dies abruptly (OOM-kill, segfault) is recorded as
+    an ``error`` result for the cells it took down — the pool raises
+    ``BrokenProcessPool`` for their futures rather than hanging, which is
+    why this uses ``concurrent.futures`` and not ``multiprocessing.Pool``.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    start = time.perf_counter()
+    if jobs == 1 or len(grid.cells) <= 1:
+        results = [
+            evaluate_cell(cell, timeout=timeout, repeats=repeats)
+            for cell in grid.cells
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                (cell, pool.submit(_evaluate_remote, (cell, timeout, repeats)))
+                for cell in grid.cells
+            ]
+            results = []
+            for cell, future in futures:
+                try:
+                    results.append(future.result())
+                except Exception as exc:
+                    # BrokenProcessPool (worker died) or a result that
+                    # failed to unpickle; degrade to a per-cell error.
+                    results.append(
+                        CellResult(
+                            cell=cell,
+                            status=STATUS_ERROR,
+                            error=f"worker failed: {exc!r}",
+                        )
+                    )
+    return SweepResult(
+        grid=grid,
+        results=results,
+        jobs=jobs,
+        wall_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,342 @@
+"""The sweep task registry: named cell evaluators.
+
+Each task is a function ``(cell: Cell) -> dict`` mapping one grid cell to a
+JSON-serializable payload.  Payloads must be *deterministic* — a function of
+the cell alone, with no wall-clock or machine-dependent values — because the
+runner's parity guarantee (serial and parallel evaluation of the same grid
+merge byte-identically) rests on it.  Timing lives in the runner's
+:class:`~repro.sweep.runner.CellResult`, never in the payload.
+
+Conventions shared by the built-in tasks:
+
+* ``stats`` — the simulator :class:`~repro.congest.network.RunStats` as a
+  plain dict (see :func:`stats_to_json`); the runner re-aggregates these
+  with ``RunStats.__add__`` per word size.
+* ``signature`` — a short hex digest of the solution, used by differential
+  checks (engine v1 vs v2 parity at benchmark scale) without shipping the
+  full solution between processes.
+* per-cell engine selection — ``cell.engine`` is passed straight to the
+  solver / network constructor, so one grid can mix ``v1`` and ``v2`` cells.
+
+New tasks register with :func:`register_task`; the registry is module-level
+state, so tasks defined in test or benchmark modules are visible to
+``multiprocessing`` workers under the default ``fork`` start method (and to
+``spawn`` workers as long as the defining module is imported on both sides).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from repro.congest.network import CongestNetwork, RunStats
+from repro.sweep.spec import Cell
+
+TaskFn = Callable[[Cell], dict[str, Any]]
+
+_REGISTRY: dict[str, TaskFn] = {}
+
+
+def register_task(name: str) -> Callable[[TaskFn], TaskFn]:
+    """Decorator registering ``fn`` as the evaluator for task ``name``."""
+
+    def deco(fn: TaskFn) -> TaskFn:
+        if name in _REGISTRY:
+            raise ValueError(f"task {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def get_task(name: str) -> TaskFn:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep task {name!r}; known tasks: {task_names()}"
+        ) from None
+
+
+def task_names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def stats_to_json(stats: RunStats) -> dict[str, int]:
+    return {
+        "rounds": stats.rounds,
+        "messages": stats.messages,
+        "total_words": stats.total_words,
+        "max_words_per_edge_round": stats.max_words_per_edge_round,
+        "cut_words": stats.cut_words,
+        "word_bits": stats.word_bits,
+    }
+
+
+def stats_from_json(data: dict[str, int]) -> RunStats:
+    return RunStats(**data)
+
+
+def signature_of(items: Iterable[Any]) -> str:
+    """Order-independent digest of a solution set."""
+    canon = ",".join(sorted(repr(x) for x in items))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+def _cell_graph(cell: Cell):
+    from repro.graphs.generators import build_graph
+
+    p = cell.param("gnp_p")
+    graph_seed = cell.param("graph_seed", cell.seed)
+    return build_graph(cell.graph, cell.n, seed=graph_seed, p=p)
+
+
+# -- cover / dominating-set solvers ---------------------------------------
+
+
+@register_task("mvc-congest")
+def _mvc_congest(cell: Cell) -> dict[str, Any]:
+    """Algorithm 1 ((1+eps)-MVC of G^2) on the CONGEST simulator."""
+    from repro.core.mvc_congest import approx_mvc_square
+    from repro.graphs.power import square
+    from repro.graphs.validation import assert_vertex_cover
+
+    eps = 0.5 if cell.eps is None else cell.eps
+    graph = _cell_graph(cell)
+    result = approx_mvc_square(
+        graph, eps, seed=cell.seed, engine=cell.engine
+    )
+    sq = square(graph)
+    assert_vertex_cover(sq, result.cover)
+    payload: dict[str, Any] = {
+        "cover_size": len(result.cover),
+        "stats": stats_to_json(result.stats),
+        "signature": signature_of(result.cover),
+    }
+    if cell.param("exact"):
+        from repro.exact.vertex_cover import minimum_vertex_cover
+
+        opt = len(minimum_vertex_cover(sq))
+        payload["opt"] = opt
+        payload["ratio"] = len(result.cover) / opt
+    return payload
+
+
+@register_task("mvc-clique-det")
+def _mvc_clique_det(cell: Cell) -> dict[str, Any]:
+    """Deterministic congested-clique MVC (Theorem 24)."""
+    from repro.core.mvc_clique import approx_mvc_square_clique_deterministic
+    from repro.graphs.power import square
+    from repro.graphs.validation import assert_vertex_cover
+
+    eps = 0.5 if cell.eps is None else cell.eps
+    graph = _cell_graph(cell)
+    result = approx_mvc_square_clique_deterministic(
+        graph, eps, seed=cell.seed, engine=cell.engine
+    )
+    assert_vertex_cover(square(graph), result.cover)
+    return {
+        "cover_size": len(result.cover),
+        "stats": stats_to_json(result.stats),
+        "signature": signature_of(result.cover),
+    }
+
+
+@register_task("mds-congest")
+def _mds_congest(cell: Cell) -> dict[str, Any]:
+    """Theorem 28 (O(log Delta)-MDS of G^2) on the CONGEST simulator."""
+    from repro.core.mds_congest import approx_mds_square
+    from repro.graphs.power import square
+    from repro.graphs.validation import assert_dominating_set
+
+    graph = _cell_graph(cell)
+    result = approx_mds_square(graph, seed=cell.seed, engine=cell.engine)
+    sq = square(graph)
+    assert_dominating_set(sq, result.cover)
+    payload: dict[str, Any] = {
+        "cover_size": len(result.cover),
+        "phases": result.detail["phases"],
+        "max_degree": max(d for _, d in graph.degree),
+        "stats": stats_to_json(result.stats),
+        "signature": signature_of(result.cover),
+    }
+    if cell.param("exact"):
+        from repro.exact.dominating_set import minimum_dominating_set
+
+        opt = len(minimum_dominating_set(sq))
+        payload["opt"] = opt
+        payload["ratio"] = len(result.cover) / opt
+    return payload
+
+
+@register_task("mds-estimator")
+def _mds_estimator(cell: Cell) -> dict[str, Any]:
+    """Lemma 29 two-hop-size estimator concentration on one graph."""
+    from repro.core.estimation import estimate_neighborhood_sizes
+    from repro.graphs.power import two_hop_neighbors
+
+    graph = _cell_graph(cell)
+    samples = int(cell.param("samples", 32))
+    net = CongestNetwork(graph, seed=cell.seed, engine=cell.engine)
+    estimates, result = estimate_neighborhood_sizes(
+        net, members=list(graph.nodes), samples=samples
+    )
+    truth = {
+        v: len(two_hop_neighbors(graph, v) | {v}) for v in graph.nodes
+    }
+    errors = [abs(estimates[v] - truth[v]) / truth[v] for v in graph.nodes]
+    return {
+        "samples": samples,
+        "max_rel_err": max(errors),
+        "mean_rel_err": sum(errors) / len(errors),
+        "stats": stats_to_json(result.stats),
+        "signature": signature_of(sorted(estimates.items())),
+    }
+
+
+# -- engine-scaling primitives (sparse-activity workloads) ----------------
+
+
+@register_task("pipeline-path")
+def _pipeline_path(cell: Cell) -> dict[str, Any]:
+    """BFS + convergecast of a token batch along a path.
+
+    The canonical sparse-activity workload: outside the token front almost
+    every node is idle almost every round, which is where the activity
+    engine's wake scheduling pays off.
+    """
+    from repro.congest.primitives import convergecast_tokens
+    from repro.graphs.generators import path_graph
+
+    tokens_per_node = int(cell.param("tokens", 16))
+    net = CongestNetwork(
+        path_graph(cell.n), seed=cell.seed, engine=cell.engine
+    )
+    tokens = {0: [(i, i) for i in range(tokens_per_node)]}
+    collected, combined = convergecast_tokens(net, tokens)
+    return {
+        "collected": len(collected),
+        "stats": stats_to_json(combined.stats),
+        "signature": signature_of(collected),
+    }
+
+
+@register_task("broadcast-star")
+def _broadcast_star(cell: Cell) -> dict[str, Any]:
+    """BFS + token broadcast on a high-degree star."""
+    from repro.congest.primitives import broadcast_tokens
+    from repro.graphs.generators import star_graph
+
+    tokens_per_node = int(cell.param("tokens", 16))
+    net = CongestNetwork(
+        star_graph(cell.n), seed=cell.seed, engine=cell.engine
+    )
+    result, _bfs = broadcast_tokens(
+        net, [(i,) for i in range(tokens_per_node)]
+    )
+    return {
+        "received": len(result.outputs[0]),
+        "stats": stats_to_json(result.stats),
+        "signature": signature_of(result.outputs[0]),
+    }
+
+
+# -- lower-bound family verification (the CLI `verify` cells) -------------
+
+
+def _verify_family(cell: Cell, family: str) -> dict[str, Any]:
+    from repro.exact.dominating_set import (
+        minimum_dominating_set,
+        minimum_weighted_dominating_set,
+    )
+    from repro.exact.vertex_cover import minimum_vertex_cover
+    from repro.graphs.power import square
+    from repro.lowerbounds.bcd19 import bcd19_threshold, build_bcd19_mds
+    from repro.lowerbounds.ckp17 import build_ckp17_mvc, ckp17_threshold
+    from repro.lowerbounds.disjointness import disj, random_instance
+    from repro.lowerbounds.mds_square_gap import (
+        GapConstructionParams,
+        build_gap_family,
+    )
+
+    k = int(cell.param("k", 2))
+    x, y = random_instance(k, seed=cell.seed)
+    if family == "ckp17":
+        fam = build_ckp17_mvc(x, y, k)
+        value = len(minimum_vertex_cover(fam.graph))
+        tight = value == ckp17_threshold(k)
+    elif family == "bcd19":
+        fam = build_bcd19_mds(x, y, k)
+        value = len(minimum_dominating_set(fam.graph))
+        tight = value <= bcd19_threshold(k)
+    else:
+        params = GapConstructionParams()
+        small_x = frozenset(p for p in x if p[0] <= 3 and p[1] <= 3)
+        small_y = frozenset(p for p in y if p[0] <= 3 and p[1] <= 3)
+        weighted = family == "gap-weighted"
+        fam = build_gap_family(small_x, small_y, params, weighted=weighted)
+        sq = square(fam.graph)
+        if weighted:
+            weights = fam.extra["weights"]
+            ds = minimum_weighted_dominating_set(sq, weights)
+            value = sum(weights[v] for v in ds)
+        else:
+            value = len(minimum_dominating_set(sq))
+        tight = value <= fam.threshold
+    expected = not disj(fam.x, fam.y)
+    return {
+        "value": value,
+        "threshold": fam.threshold,
+        "intersecting": expected,
+        "ok": tight == expected,
+    }
+
+
+for _family in ("ckp17", "bcd19", "gap-weighted", "gap-unweighted"):
+    def _make(family: str) -> TaskFn:
+        def _task(cell: Cell) -> dict[str, Any]:
+            return _verify_family(cell, family)
+
+        _task.__doc__ = f"Exact verification of one {family} instance."
+        return _task
+
+    _REGISTRY[f"verify-{_family}"] = _make(_family)
+
+
+# -- self-test tasks (failure / timeout plumbing) -------------------------
+
+
+@register_task("selftest-ok")
+def _selftest_ok(cell: Cell) -> dict[str, Any]:
+    """Trivial succeeding task; exercises runner plumbing in tests."""
+    return {"n": cell.n, "seed": cell.seed, "signature": f"ok-{cell.n}"}
+
+
+@register_task("selftest-fail")
+def _selftest_fail(cell: Cell) -> dict[str, Any]:
+    """Always raises; exercises worker-failure capture."""
+    raise RuntimeError(f"selftest-fail cell n={cell.n} seed={cell.seed}")
+
+
+@register_task("selftest-sleep")
+def _selftest_sleep(cell: Cell) -> dict[str, Any]:
+    """Sleeps ``params['sleep']`` seconds; exercises timeout capture."""
+    time.sleep(float(cell.param("sleep", 1.0)))
+    return {"slept": float(cell.param("sleep", 1.0))}
+
+
+@register_task("selftest-kill")
+def _selftest_kill(cell: Cell) -> dict[str, Any]:
+    """SIGKILLs its own process — simulates an OOM-killed pool worker.
+
+    The runner must record a per-cell error (``BrokenProcessPool``) rather
+    than hang waiting for a result that will never arrive.  Never run this
+    serially: in-process it kills the caller, which is the simulated
+    disaster, not a test harness.
+    """
+    os.kill(os.getpid(), signal.SIGKILL)
+    raise AssertionError("unreachable")  # pragma: no cover

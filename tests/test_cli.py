@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -83,3 +85,61 @@ class TestVerifyCommand:
         )
         assert code == 0
         assert "2/2" in capsys.readouterr().out
+
+    def test_jobs_flag_gives_identical_output(self, capsys):
+        """--jobs 1 and --jobs 2 print the same per-seed lines."""
+        args = ["verify", "--family", "ckp17", "--k", "2", "--samples", "3"]
+        assert main(args + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert "3/3 instances verified" in serial
+
+
+class TestSweepCommand:
+    def test_named_grid_runs(self, capsys):
+        code = main(["sweep", "--grid", "smoke", "--jobs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "8 ok, 0 error, 0 timeout" in out
+        assert "deterministic sha256:" in out
+
+    def test_jobs_1_and_2_equivalent(self, capsys, tmp_path):
+        """The acceptance property at test scale: identical merged JSON."""
+        digests = {}
+        for jobs in ("1", "2"):
+            path = tmp_path / f"out{jobs}.json"
+            code = main(
+                ["sweep", "--grid", "smoke", "--jobs", jobs,
+                 "--json", str(path), "--quiet"]
+            )
+            assert code == 0
+            capsys.readouterr()
+            data = json.loads(path.read_text())
+            digests[jobs] = data["deterministic_sha256"]
+            assert data["counts"] == {"ok": 8, "error": 0, "timeout": 0}
+        assert digests["1"] == digests["2"]
+
+    def test_adhoc_grid(self, capsys):
+        code = main(
+            ["sweep", "--task", "mvc-congest", "--graphs", "gnp,tree",
+             "--ns", "10,12", "--epss", "0.5", "--jobs", "1"]
+        )
+        assert code == 0
+        assert "4 ok" in capsys.readouterr().out
+
+    def test_failures_set_exit_code(self, capsys):
+        code = main(
+            ["sweep", "--task", "selftest-fail", "--ns", "8", "--quiet"]
+        )
+        assert code == 1
+        assert "1 error" in capsys.readouterr().out
+
+    def test_grid_and_task_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--grid", "smoke", "--task", "mvc-congest"])
+
+    def test_requires_grid_or_task(self):
+        with pytest.raises(SystemExit):
+            main(["sweep"])
