@@ -260,9 +260,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mvc.add_argument(
         "--engine",
-        choices=("v1", "v2"),
+        choices=("v1", "v2", "v2-dict"),
         default=None,
-        help="simulator engine (default: REPRO_ENGINE env or v2)",
+        help="simulator engine (default: REPRO_ENGINE env or v2; "
+        "v2-dict disables the batched-outbox fast path)",
     )
     mvc.add_argument("--exact", action="store_true")
     mvc.set_defaults(func=_cmd_mvc)
@@ -273,9 +274,10 @@ def build_parser() -> argparse.ArgumentParser:
     mds.add_argument("--graph", choices=GRAPH_KINDS, default="gnp")
     mds.add_argument(
         "--engine",
-        choices=("v1", "v2"),
+        choices=("v1", "v2", "v2-dict"),
         default=None,
-        help="simulator engine (default: REPRO_ENGINE env or v2)",
+        help="simulator engine (default: REPRO_ENGINE env or v2; "
+        "v2-dict disables the batched-outbox fast path)",
     )
     mds.add_argument("--exact", action="store_true")
     mds.set_defaults(func=_cmd_mds)
@@ -327,7 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--engines",
         default="",
-        help="comma-separated engines (v1,v2); empty = engine default",
+        help="comma-separated engines (v1,v2,v2-dict); empty = engine default",
     )
     sweep.add_argument("--replicates", type=int, default=1)
     sweep.add_argument("--base-seed", type=int, default=0)

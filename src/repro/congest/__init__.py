@@ -11,20 +11,26 @@ ship 2-hop neighborhoods over single edges.
 
 Execution engines
 -----------------
-Two engines run the rounds (see :mod:`repro.congest.engine`):
+Three engine configurations run the rounds (see :mod:`repro.congest.engine`):
 
 * ``"v1"`` — the reference loop: every live node is invoked every round.
 * ``"v2"`` — the activity-scheduled engine (default): only nodes with
   pending inbox traffic or an explicit self-wake
   (:meth:`~repro.congest.algorithm.NodeAlgorithm.wants_wake`) run, inbox
   buffers are reused instead of reallocated, adjacency checks and message
-  metering are O(1)/cached, and quiescence is detected incrementally.
+  metering are O(1)/cached, quiescence is detected incrementally, and
+  batched outboxes (:meth:`~repro.congest.algorithm.NodeAlgorithm.broadcast`
+  / :meth:`~repro.congest.algorithm.NodeAlgorithm.send_many`) are metered
+  once per batch instead of once per message.
+* ``"v2-dict"`` — v2 with the batch fast path disabled, kept as the
+  pre-batching baseline for differential benchmarks.
 
 Select an engine per network (``CongestNetwork(graph, engine="v1")``) or
-process-wide via the ``REPRO_ENGINE`` environment variable.  Both engines
+process-wide via the ``REPRO_ENGINE`` environment variable.  All engines
 are required to produce identical outputs, statistics and traces;
-``tests/test_engine_parity.py`` enforces this differentially and
-``benchmarks/bench_engine_scaling.py`` measures the speedup.
+``tests/test_engine_parity.py`` and ``tests/test_batch_outbox.py`` enforce
+this differentially, and ``benchmarks/bench_engine_scaling.py`` /
+``benchmarks/bench_solver_engines.py`` measure the speedups.
 """
 
 from repro.congest.errors import CongestionError, RoundLimitError

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import random
-from collections.abc import Mapping
+from collections.abc import Iterable, Mapping
 from typing import Any
 
-Outbox = Mapping[int, Any] | None
+from repro.congest.message import BatchOutbox
+
+Outbox = Mapping[int, Any] | BatchOutbox | None
 Inbox = Mapping[int, Any]
 
 
@@ -69,11 +71,15 @@ class NodeAlgorithm:
 
     Subclasses override :meth:`on_start` (run before the first round) and
     :meth:`on_round` (run every round with the messages delivered this
-    round).  Both return an outbox: a mapping ``{neighbor_id: payload}``, or
-    ``None`` for silence.  Call :meth:`finish` to record the node's output
-    and stop participating; a finished node neither sends nor is invoked
-    again, so relays must stay alive as long as traffic may pass through
-    them.
+    round).  Both return an outbox: a mapping ``{neighbor_id: payload}``, a
+    :class:`~repro.congest.message.BatchOutbox` (one payload to many
+    targets, built with :meth:`broadcast` / :meth:`send_many`), or ``None``
+    for silence.  The two forms are interchangeable — engines meter and
+    deliver them identically — but the batch form lets the activity engine
+    meter a whole broadcast in O(1) instead of O(degree).  Call
+    :meth:`finish` to record the node's output and stop participating; a
+    finished node neither sends nor is invoked again, so relays must stay
+    alive as long as traffic may pass through them.
     """
 
     def __init__(self, node: NodeView) -> None:
@@ -104,14 +110,42 @@ class NodeAlgorithm:
 
         The activity-scheduled engine (v2) invokes a node only when it has
         pending inbox traffic or this hook returns True.  The default —
-        always — preserves reference semantics for any algorithm.  Override
-        to return False only when an empty-inbox ``on_round`` call would be
-        a strict no-op (no state change, no sends): that is the contract
-        that keeps both engines byte-identical, and it is what lets the v2
-        engine skip the silent majority of nodes each round.
+        always — preserves reference semantics for any algorithm.  Two
+        override patterns are sound (both keep the engines byte-identical):
+
+        * **genuinely idle** — an empty-inbox ``on_round`` call would be a
+          strict no-op (no state change, no sends), so skipping it changes
+          nothing (the BFS/convergecast primitives);
+        * **guaranteed traffic** — the protocol guarantees inbound messages
+          next round (e.g. every live neighbor broadcasts on a fixed
+          cadence), so the traffic wake fires anyway and the self-wake is
+          redundant bookkeeping (the Phase I status protocol and the MDS
+          estimation stages; see their cadence tables in ``DESIGN.md``).
+
+        Any override outside those two patterns desynchronizes the node's
+        state machine from the round counter and breaks the v1/v2 parity
+        contract.
         """
         return True
 
-    def broadcast(self, payload: Any) -> dict[int, Any]:
-        """Outbox sending ``payload`` to every neighbor."""
-        return {neighbor: payload for neighbor in self.node.neighbors}
+    def broadcast(self, payload: Any) -> BatchOutbox:
+        """Outbox sending ``payload`` to every neighbor (batched form).
+
+        The returned batch is *trusted*: its target tuple is the node's
+        adjacency, so engines skip per-target validity checks.  Equivalent
+        to ``{neighbor: payload for neighbor in self.node.neighbors}`` in
+        results and metering, but costs O(1) to build and, on the activity
+        engine, O(1) to meter.
+        """
+        return BatchOutbox(self.node.neighbors, payload, trusted=True)
+
+    def send_many(self, targets: Iterable[int], payload: Any) -> BatchOutbox:
+        """Outbox sending ``payload`` to each of ``targets`` (batched form).
+
+        Targets are validated by the engine exactly like dictionary-outbox
+        keys (self-addressing, range and adjacency checks, in target
+        order).  Duplicate targets are metered per occurrence, like two
+        same-edge messages in one round.
+        """
+        targets = tuple(targets)
+        return BatchOutbox(targets, payload, trusted=False)

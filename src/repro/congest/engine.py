@@ -1,17 +1,30 @@
 """Pluggable execution engines for :class:`~repro.congest.network.CongestNetwork`.
 
-Two engines implement the same synchronous-round semantics:
+Three engine configurations implement the same synchronous-round semantics:
 
 * ``v1`` (:class:`SynchronousEngine`) — the original reference loop: every
   live node is invoked every round, inbox dictionaries are rebuilt from
   scratch and quiescence is detected by scanning all algorithms.  Kept
-  verbatim as the differential-testing baseline.
+  verbatim as the differential-testing baseline; batched outboxes are
+  expanded through their per-message ``items()`` view, so the loop body is
+  untouched.
 * ``v2`` (:class:`ActivityEngine`) — the activity-scheduled runtime: only
   nodes with pending inbox traffic or an explicit self-wake
   (:meth:`~repro.congest.algorithm.NodeAlgorithm.wants_wake`) are invoked,
   inbox buffers are reused via :class:`~repro.congest.scheduler.MailboxRing`,
   message metering caches :func:`~repro.congest.message.payload_words` for
-  repeated payload shapes, and quiescence is a counter decrement.
+  repeated payload shapes, quiescence is a counter decrement, and a
+  :class:`~repro.congest.message.BatchOutbox` takes the **batch fast
+  path**: one word-cost computation, one strictness check and an O(1)
+  statistics update for the whole batch, delivered through
+  :meth:`~repro.congest.scheduler.MailboxRing.post_batch`.  Per-target
+  validation of untrusted batches is vectorized with numpy when available
+  (the pure-Python loop is the reference and the fallback).
+* ``v2-dict`` — the activity engine with the batch fast path disabled:
+  batches run through the same per-message loop as dictionaries (the
+  engine exactly as of the pre-batching revision).  Kept selectable so the
+  benchmarks can attribute speedups to batching separately from activity
+  scheduling, and as a differential baseline for the fast path.
 
 The wants_wake / self-wake protocol
 -----------------------------------
@@ -35,10 +48,10 @@ the engine reproduces the reference engine's empty-round spin up to
 
 The v1/v2 parity contract
 -------------------------
-Both engines must produce identical outputs, statistics and traces on every
-run — same ``RunResult.outputs``/``by_id``, same ``RunStats`` field by
-field, same per-round ``RoundRecord`` timeline, and the same exceptions at
-the same rounds.  The ingredients:
+All engine configurations must produce identical outputs, statistics and
+traces on every run — same ``RunResult.outputs``/``by_id``, same
+``RunStats`` field by field, same per-round ``RoundRecord`` timeline, and
+the same exceptions at the same rounds.  The ingredients:
 
 * nodes run in ascending id order each round (v2 sorts its runnable set);
 * messages are metered at send time in both engines, including traffic
@@ -47,10 +60,25 @@ the same rounds.  The ingredients:
   invocation counts;
 * ``wants_wake`` may change *when* a node is invoked but never *what* the
   run computes — a correct override only skips rounds the node would have
-  ignored anyway.
+  ignored anyway, or rounds in which guaranteed inbound traffic wakes the
+  node regardless (see the two patterns on
+  :meth:`~repro.congest.algorithm.NodeAlgorithm.wants_wake`).
 
-``tests/test_engine_parity.py`` enforces the contract differentially, and
-``benchmarks/bench_engine_scaling.py`` re-checks it at benchmark scale via
+The contract extends to batches: a ``BatchOutbox`` must be
+indistinguishable from its expanded dictionary form on every engine —
+message/word counts, ``max_words_per_edge_round``, cut metering,
+exception types and exception messages all equal, word for word.  The
+fast path achieves this because a batch carries one payload whose cost is
+target-independent: ``k`` messages of ``w`` words meter as ``k*w`` in one
+update, the strictness check fires (against the batch's first target,
+which is the first message the reference loop would have metered) before
+any statistics are touched, and untrusted targets are validated in
+reference order so the first offending target raises the same
+``ProtocolError`` text.
+
+``tests/test_engine_parity.py`` and ``tests/test_batch_outbox.py`` enforce
+the contract differentially, and ``benchmarks/bench_engine_scaling.py`` /
+``benchmarks/bench_solver_engines.py`` re-check it at benchmark scale via
 the sweep runner's per-cell engine selection.
 
 Engine selection: the ``engine=`` constructor argument of
@@ -65,8 +93,13 @@ from collections.abc import Mapping
 from typing import TYPE_CHECKING, Any
 
 from repro.congest.errors import CongestionError, ProtocolError, RoundLimitError
-from repro.congest.message import payload_words
+from repro.congest.message import BatchOutbox, payload_words
 from repro.congest.scheduler import ActivityScheduler, MailboxRing
+
+try:  # numpy accelerates untrusted-batch validation; optional by design.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.congest.algorithm import NodeAlgorithm
@@ -91,6 +124,9 @@ _ALIASES = {
     "v2": "v2",
     "activity": "v2",
     "event": "v2",
+    "v2-batched": "v2",
+    "batched": "v2",
+    "v2-dict": "v2-dict",
 }
 
 #: Sentinel for payloads whose word cost cannot be cached by value.
@@ -109,7 +145,7 @@ def resolve_engine_name(name: str | None = None) -> str:
     if canonical is None:
         raise ValueError(
             f"unknown engine {name!r}; choose one of "
-            f"{sorted(set(_ALIASES))} (canonically 'v1' or 'v2')"
+            f"{sorted(set(_ALIASES))} (canonically 'v1', 'v2' or 'v2-dict')"
         )
     return canonical
 
@@ -119,7 +155,7 @@ def create_engine(network: "CongestNetwork", name: str | None = None) -> "Engine
     canonical = resolve_engine_name(name)
     if canonical == "v1":
         return SynchronousEngine(network)
-    return ActivityEngine(network)
+    return ActivityEngine(network, batch_fast_path=canonical == "v2")
 
 
 class Engine:
@@ -251,16 +287,70 @@ def _payload_cache_key(payload: Any) -> Any:
     return _UNCACHEABLE
 
 
+#: Untrusted batches at least this long are validated with numpy (when
+#: installed); shorter ones loop — ndarray setup costs more than it saves.
+_NUMPY_MIN_BATCH = 32
+
+
 class ActivityEngine(Engine):
-    """Engine v2: wake only nodes with traffic or an explicit self-wake."""
+    """Engine v2: wake only nodes with traffic or an explicit self-wake.
 
-    name = "v2"
+    With ``batch_fast_path`` (the default, canonical name ``"v2"``) a
+    :class:`BatchOutbox` is metered once for all its targets and delivered
+    via :meth:`MailboxRing.post_batch`; without it (canonical name
+    ``"v2-dict"``) batches expand through the same per-message loop as
+    dictionary outboxes, reproducing the engine exactly as it behaved
+    before batching existed.  Both configurations satisfy the parity
+    contract; only wall-clock differs.
+    """
 
-    def __init__(self, network: "CongestNetwork") -> None:
+    def __init__(
+        self, network: "CongestNetwork", batch_fast_path: bool = True
+    ) -> None:
         super().__init__(network)
+        from repro.congest.clique import CongestedCliqueNetwork
+        from repro.congest.network import CongestNetwork
+
+        self.name = "v2" if batch_fast_path else "v2-dict"
+        self._batch_fast_path = batch_fast_path
         #: payload value -> word cost, shared across runs on this network
         #: (word size is fixed per network, so keys need not include it).
         self._words_cache: dict[Any, int] = {}
+        #: Whether ``_can_send`` is one of the two stock rules.  A subclass
+        #: override must stay honored per target, so trusted batches lose
+        #: their validation shortcut on such networks.
+        self._stock_can_send = type(network)._can_send in (
+            CongestNetwork._can_send,
+            CongestedCliqueNetwork._can_send,
+        )
+        #: Plain-CONGEST adjacency (not clique, not overridden) — the only
+        #: rule the vectorized membership test knows how to evaluate.
+        self._plain_adjacency = (
+            type(network)._can_send is CongestNetwork._can_send
+        )
+        #: Nodes whose adjacency contains themselves (graphs with self
+        #: loops).  A trusted broadcast from such a node must raise the
+        #: reference loop's "addressed itself" error, so it is demoted to
+        #: the validating path.
+        self._self_loops = frozenset(
+            node_id
+            for node_id, neighbors in network._adjacency_sets.items()
+            if node_id in neighbors
+        )
+        #: node id -> numpy array of its neighbors, built lazily for the
+        #: vectorized validation of untrusted batches.
+        self._nbr_arrays: dict[int, Any] = {}
+        #: Broadcast batches need no per-node trust decision at all when
+        #: the adjacency rule is stock and the graph has no self loops.
+        self._trust_broadcasts = self._stock_can_send and not self._self_loops
+        #: Overridden ``_meter`` resolved once — the network's class is
+        #: fixed for the engine's lifetime, so the virtual-dispatch check
+        #: need not be repeated on every outbox.
+        self._custom_meter = (
+            type(network)._meter
+            if type(network)._meter is not CongestNetwork._meter
+            else None
+        )
 
     def run(
         self,
@@ -356,14 +446,24 @@ class ActivityEngine(Engine):
     def _collect(
         self,
         alg: "NodeAlgorithm",
-        outbox: Mapping[int, Any] | None,
+        outbox: Mapping[int, Any] | BatchOutbox | None,
         ring: MailboxRing,
         stats: "RunStats",
     ) -> None:
         if not outbox:
             return
-        from repro.congest.network import CongestNetwork
-
+        # Metering below is an inlined fast path of CongestNetwork._meter;
+        # a subclass that overrides _meter must keep being honored
+        # (resolved once at construction), so fall back to the virtual call
+        # for it (as _can_send always is).
+        custom_meter = self._custom_meter
+        if (
+            custom_meter is None
+            and self._batch_fast_path
+            and type(outbox) is BatchOutbox
+        ):
+            self._collect_batch(alg, outbox, ring, stats)
+            return
         network = self.network
         n = network.n
         word_bits = network.word_bits
@@ -371,14 +471,6 @@ class ActivityEngine(Engine):
         strict = network.strict
         cut = network._cut
         cache = self._words_cache
-        # Metering below is an inlined fast path of CongestNetwork._meter;
-        # a subclass that overrides _meter must keep being honored, so fall
-        # back to the virtual call for it (as _can_send always is).
-        custom_meter = (
-            type(network)._meter
-            if type(network)._meter is not CongestNetwork._meter
-            else None
-        )
         sender = alg.node.id
         # Broadcasts reuse one payload object for every neighbor; a
         # single-slot identity memo skips even the cache lookup for them.
@@ -411,6 +503,12 @@ class ActivityEngine(Engine):
                     if cached is None:
                         if len(cache) >= _CACHE_LIMIT:
                             cache.clear()
+                            # The identity memo must not outlive the value
+                            # cache: dropping one but not the other would
+                            # let a pathological workload pair a recycled
+                            # payload identity with a stale cost.
+                            prev_payload = _UNCACHEABLE
+                            prev_words = 0
                         cached = payload_words(payload, word_bits)
                         cache[key] = cached
                     words = cached
@@ -430,3 +528,118 @@ class ActivityEngine(Engine):
             if cut and frozenset((sender, target)) in cut:
                 stats.cut_words += words
             ring.post(sender, target, payload)
+
+    # -- batched outbox fast path ------------------------------------------
+
+    def _collect_batch(
+        self,
+        alg: "NodeAlgorithm",
+        outbox: BatchOutbox,
+        ring: MailboxRing,
+        stats: "RunStats",
+    ) -> None:
+        """Meter and deliver a uniform-payload batch in O(1) + delivery.
+
+        Must be indistinguishable from running the per-message loop over
+        ``outbox.items()`` — including which exception fires first.  The
+        reference order for a batch ``[t0, t1, ...]`` is: validate ``t0``,
+        meter the payload (strictness check), then validate ``t1...`` —
+        because the per-message loop meters ``t0`` (raising on oversize)
+        before it ever looks at ``t1``.  Statistics are only touched once
+        every check has passed, which matches the reference loop whenever
+        it raises (a run that raises never reports stats).
+        """
+        network = self.network
+        sender = alg.node.id
+        targets = outbox.targets
+        payload = outbox.payload
+        trusted = outbox.trusted and (
+            self._trust_broadcasts
+            or (self._stock_can_send and sender not in self._self_loops)
+        )
+        if not trusted:
+            self._validate_targets(sender, targets[:1])
+        word_bits = network.word_bits
+        cache = self._words_cache
+        key = _payload_cache_key(payload)
+        if key is _UNCACHEABLE:
+            words = payload_words(payload, word_bits)
+        else:
+            cached = cache.get(key)
+            if cached is None:
+                if len(cache) >= _CACHE_LIMIT:
+                    cache.clear()
+                cached = payload_words(payload, word_bits)
+                cache[key] = cached
+            words = cached
+        if words > network.word_limit and network.strict:
+            raise CongestionError(
+                f"message {network.label_of(sender)!r} -> "
+                f"{network.label_of(targets[0])!r} is {words} words but the "
+                f"per-edge budget is {network.word_limit} words of "
+                f"{word_bits} bits"
+            )
+        if not trusted:
+            self._validate_targets(sender, targets[1:])
+        count = len(targets)
+        stats.messages += count
+        stats.total_words += count * words
+        if words > stats.max_words_per_edge_round:
+            stats.max_words_per_edge_round = words
+        cut = network._cut
+        if cut:
+            for target in targets:
+                if frozenset((sender, target)) in cut:
+                    stats.cut_words += words
+        ring.post_batch(sender, targets, payload)
+
+    def _validate_targets(self, sender: int, targets: tuple[int, ...]) -> None:
+        """Reference-order validation of untrusted batch targets.
+
+        Vectorized with numpy for long batches on plain-CONGEST networks;
+        when the vectorized check finds any violation it falls through to
+        the sequential loop so the *first* offending target raises exactly
+        the error the per-message loop would have raised.
+        """
+        network = self.network
+        n = network.n
+        if (
+            _np is not None
+            and self._plain_adjacency
+            and len(targets) >= _NUMPY_MIN_BATCH
+            # The reference loop accepts exactly Python ints (bools ride
+            # along via isinstance); numpy scalars coerce into an integer
+            # ndarray but must still be *rejected*, so anything that is
+            # not a plain int falls through to the sequential loop and
+            # raises (or accepts, for bools) exactly as v1 would.
+            and all(type(t) is int for t in targets)
+        ):
+            arr = _np.asarray(targets)
+            if arr.dtype.kind in "iu":
+                neighbors = self._nbr_arrays.get(sender)
+                if neighbors is None:
+                    neighbors = _np.asarray(
+                        network._adjacency[sender], dtype=_np.int64
+                    )
+                    self._nbr_arrays[sender] = neighbors
+                ok = (
+                    (arr != sender)
+                    & (arr >= 0)
+                    & (arr < n)
+                    & _np.isin(arr, neighbors)
+                )
+                if bool(ok.all()):
+                    return
+        can_send = network._can_send
+        for target in targets:
+            if target == sender:
+                raise ProtocolError(f"node {sender} addressed itself")
+            if not isinstance(target, int) or not 0 <= target < n:
+                raise ProtocolError(
+                    f"node {sender} addressed invalid target {target!r}"
+                )
+            if not can_send(sender, target):
+                raise ProtocolError(
+                    f"node {network.label_of(sender)!r} is not adjacent to "
+                    f"{network.label_of(target)!r} in the communication graph"
+                )

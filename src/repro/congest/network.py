@@ -4,13 +4,15 @@
 graph in synchronous rounds, delivering messages between rounds, metering
 round/message/bit usage and enforcing the per-edge bandwidth bound.
 
-The round loop itself lives in :mod:`repro.congest.engine` and comes in two
-interchangeable implementations: the reference engine (``v1``) and the
+The round loop itself lives in :mod:`repro.congest.engine` and comes in
+interchangeable implementations: the reference engine (``v1``), the
 activity-scheduled engine (``v2``, the default) which only wakes nodes with
-pending traffic or an explicit self-wake.  Select one per network with the
-``engine=`` constructor argument or globally with the ``REPRO_ENGINE``
-environment variable; both must behave identically (see
-``tests/test_engine_parity.py``).
+pending traffic or an explicit self-wake and meters batched outboxes in
+O(1), and ``v2-dict`` (v2 without the batch fast path, the pre-batching
+baseline).  Select one per network with the ``engine=`` constructor
+argument or globally with the ``REPRO_ENGINE`` environment variable; all
+must behave identically (see ``tests/test_engine_parity.py`` and
+``tests/test_batch_outbox.py``).
 
 Paper algorithms are sequences of phases whose round complexities add; the
 :func:`run_stages` driver runs stage factories back-to-back on the same
@@ -29,7 +31,7 @@ import networkx as nx
 
 from repro.congest.algorithm import NodeAlgorithm, NodeView
 from repro.congest.errors import CongestionError, ProtocolError
-from repro.congest.message import payload_words, word_bits_for
+from repro.congest.message import BatchOutbox, payload_words, word_bits_for
 
 AlgorithmFactory = Callable[[NodeView], NodeAlgorithm]
 
@@ -267,10 +269,15 @@ class CongestNetwork:
     def _collect(
         self,
         alg: NodeAlgorithm,
-        outbox: Mapping[int, Any] | None,
+        outbox: Mapping[int, Any] | BatchOutbox | None,
         pending: dict[int, dict[int, Any]],
         stats: RunStats,
     ) -> None:
+        # The reference collector: one validation + one metering call per
+        # (sender, target) pair.  A BatchOutbox is expanded through its
+        # per-message ``items()`` view, so batches and dictionaries take
+        # the identical loop here — this is the semantics the activity
+        # engine's batch fast path must reproduce word for word.
         if not outbox:
             return
         sender = alg.node.id

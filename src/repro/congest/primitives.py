@@ -81,7 +81,7 @@ class BfsTreeAlgorithm(NodeAlgorithm):
         if not self.node.neighbors:
             self._complete()
             return None
-        return {nbr: (_TAG_JOIN, 1) for nbr in self.node.neighbors}
+        return self.broadcast((_TAG_JOIN, 1))
 
     def on_round(self, inbox: Inbox) -> Outbox:
         outbox: dict[int, Any] = {}
@@ -208,7 +208,7 @@ class BroadcastAlgorithm(NodeAlgorithm):
             self._complete()
         if not self.children:
             return None
-        return {child: msg for child in self.children}
+        return self.send_many(self.children, msg)
 
     def on_start(self) -> Outbox:
         if self.parent < 0:
@@ -226,7 +226,7 @@ class BroadcastAlgorithm(NodeAlgorithm):
         elif msg[0] == _TAG_DONE:
             self._complete()
         if self.children:
-            return {child: msg for child in self.children}
+            return self.send_many(self.children, msg)
         return None
 
     def wants_wake(self) -> bool:

@@ -64,6 +64,21 @@ class MailboxRing:
         self._back[target][sender] = payload
         self._back_dirty.add(target)
 
+    def post_batch(
+        self, sender: int, targets: Iterable[int], payload: Any
+    ) -> None:
+        """Queue one ``payload`` for every target in ``targets``.
+
+        Equivalent to calling :meth:`post` once per target, but with the
+        buffer list and dirty set bound once for the whole batch — the
+        delivery half of the engine's batched-outbox fast path.  Duplicate
+        targets overwrite, exactly as repeated :meth:`post` calls would.
+        """
+        back = self._back
+        for target in targets:
+            back[target][sender] = payload
+        self._back_dirty.update(targets)
+
     def flip(self) -> Set[int]:
         """Start a new round: promote queued traffic to deliverable.
 
@@ -118,7 +133,13 @@ class ActivityScheduler:
         Ascending id order matches the reference engine's invocation order,
         which keeps inbox insertion order — and therefore any
         order-sensitive algorithm behavior — byte-identical between engines.
+        With the solver stages now sleeping through their traffic-woken
+        rounds, an empty wake set is the common case; it skips the union
+        allocation entirely.
         """
-        ids = sorted(self._wake.union(traffic))
-        self._wake.clear()
+        if self._wake:
+            ids = sorted(self._wake.union(traffic))
+            self._wake.clear()
+        else:
+            ids = sorted(traffic)
         return ids

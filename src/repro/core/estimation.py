@@ -102,6 +102,16 @@ class EstimationStage(NodeAlgorithm):
             return 0.0
         return self.samples / total
 
+    def wants_wake(self) -> bool:
+        # Two-round sample cadence with guaranteed traffic on the second
+        # round: after emitting W values (step just reset to 0) the next
+        # invocation must run even with an empty inbox — every node
+        # broadcasts its 1-hop minimum there, member nearby or not.  After
+        # that broadcast (step 1) every live neighbor has broadcast one
+        # too, so the fold round is traffic-woken.  Isolated nodes always
+        # self-wake.
+        return self.step == 0 or not self.node.neighbors
+
 
 def default_samples(n: int, factor: float = 8.0) -> int:
     """``ceil(factor * log2 n)`` samples (Lemma 30 wants Theta(log n))."""

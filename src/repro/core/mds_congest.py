@@ -82,6 +82,13 @@ class RhoFloodAlgorithm(NodeAlgorithm):
             return None
         return self.broadcast((_TAG_RHO, self.current_max))
 
+    def wants_wake(self) -> bool:
+        # Every live neighbor broadcasts its running maximum every round
+        # until the lockstep hop counter finishes, so each of the four hop
+        # rounds is traffic-woken; only an isolated node must self-wake to
+        # run down its hop counter.
+        return not self.node.neighbors
+
 
 class RankVoteAlgorithm(NodeAlgorithm):
     """Candidates draw ranks; uncovered vertices vote for the 2-hop best.
@@ -136,6 +143,12 @@ class RankVoteAlgorithm(NodeAlgorithm):
         self.node.state["voted_for"] = voted_for
         self.finish(voted_for)
         return None
+
+    # wants_wake: default (always).  Rank traffic is sparse — only
+    # candidates broadcast — so neither protocol round is guaranteed any
+    # inbound message, yet both advance node state (candidate bookkeeping,
+    # the vote, the finish).  Sleeping would desynchronize the two-round
+    # state machine; this stage is inherently round-counting.
 
 
 class VoteEstimationAlgorithm(NodeAlgorithm):
@@ -220,6 +233,12 @@ class VoteEstimationAlgorithm(NodeAlgorithm):
         self.sample_index += 1
         return self._finish_if_done()
 
+    # wants_wake: default (always).  VW traffic exists only where voters
+    # are and VWMIN flows only to candidates, so no round of the sample
+    # cadence has guaranteed traffic for a given node — but every node
+    # advances its sample counter each round to stay in lockstep with the
+    # voters.  A round-counting stage cannot sleep.
+
 
 class WinnerAlgorithm(NodeAlgorithm):
     """Successful candidates join the set; coverage propagates two hops."""
@@ -261,6 +280,13 @@ class WinnerAlgorithm(NodeAlgorithm):
         )
         return None
 
+    def wants_wake(self) -> bool:
+        # The step-0 round must run regardless of inbox (every node
+        # broadcasts WINREL there, winner nearby or not); the step-1 round
+        # is traffic-woken because every live neighbor broadcast WINREL in
+        # lockstep.  Isolated nodes self-wake throughout.
+        return self.step == 0 or not self.node.neighbors
+
 
 class GlobalOrAlgorithm(NodeAlgorithm):
     """Convergecast-OR of a state bit over the BFS tree, decision broadcast.
@@ -286,9 +312,10 @@ class GlobalOrAlgorithm(NodeAlgorithm):
         self.reported = True
         if self.parent < 0:
             # Root: decision made; inform children and finish.
-            outbox = {c: (_TAG_OR_DOWN, self.value) for c in self.children}
             self.finish(bool(self.value))
-            return outbox or None
+            if not self.children:
+                return None
+            return self.send_many(self.children, (_TAG_OR_DOWN, self.value))
         return {self.parent: (_TAG_OR_UP, self.value)}
 
     def on_start(self) -> Outbox:
@@ -301,10 +328,20 @@ class GlobalOrAlgorithm(NodeAlgorithm):
                 self.value |= msg[1]
             elif msg[0] == _TAG_OR_DOWN:
                 decision = msg[1]
-                outbox = {c: (_TAG_OR_DOWN, decision) for c in self.children}
                 self.finish(bool(decision))
-                return outbox or None
+                if not self.children:
+                    return None
+                return self.send_many(self.children, (_TAG_OR_DOWN, decision))
         return self._maybe_report()
+
+    def wants_wake(self) -> bool:
+        # Purely reactive: progress happens only when an OR_UP or OR_DOWN
+        # arrives — the report fires in the same invocation that drains the
+        # last pending child, and an empty-inbox call is a strict no-op.
+        # This is the stage where the activity engine's sleeping genuinely
+        # pays: during the O(depth) convergecast only the moving frontier
+        # runs, not all n nodes every round.
+        return False
 
 
 def approx_mds_square(

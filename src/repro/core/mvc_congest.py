@@ -160,8 +160,16 @@ class PhaseOneAlgorithm(NodeAlgorithm):
             self.final_status = True
         return self.broadcast((_TAG_STATUS, 1 if self.in_R else 0))
 
-
-# -- Phase II helpers --------------------------------------------------------
+    def wants_wake(self) -> bool:
+        # Guaranteed-traffic cadence (see NodeAlgorithm.wants_wake): every
+        # live neighbor broadcasts STATUS at each cycle start and RELAY at
+        # step 1, and all nodes advance in lockstep, so the invocations
+        # that *process* those broadcasts (steps 0 and 2, and the final
+        # finalize round) are always traffic-woken.  Steps 1 and 3 must
+        # self-wake: the node broadcasts RELAY/STATUS there even when its
+        # own inbox was empty (no candidate or no winner nearby).  An
+        # isolated node never receives traffic and must always self-wake.
+        return self.step in (1, 3) or not self.node.neighbors
 
 
 def residual_graph_from_tokens(tokens: Iterable[tuple[int, int]]) -> nx.Graph:

@@ -164,6 +164,14 @@ class WeightedPhaseOneAlgorithm(NodeAlgorithm):
             self.final_status = True
         return self.broadcast((_TAG_STATUS, 1 if self.in_R else 0, self.weight))
 
+    def wants_wake(self) -> bool:
+        # Same guaranteed-traffic cadence as the unweighted Phase I: STATUS
+        # and RELAY are broadcast by every live neighbor in lockstep, so
+        # steps 0/2 and the finalize round are traffic-woken; steps 1 and 3
+        # send regardless of inbox and must self-wake, as must isolated
+        # nodes.
+        return self.step in (1, 3) or not self.node.neighbors
+
 
 def _weights_table(graph: nx.Graph, weights: Mapping[Any, int] | None) -> dict:
     if weights is None:

@@ -110,6 +110,63 @@ def engine_scaling_grid(quick: bool = False) -> GridSpec:
     )
 
 
+#: Engines compared by the solver-engines grid, in evaluation order.
+SOLVER_ENGINES = ("v1", "v2-dict", "v2")
+
+
+def solver_engines_grid(quick: bool = False) -> GridSpec:
+    """Batched-outbox engine sweep over the real solver benchmarks.
+
+    Adjacent (v1, v2-dict, v2) cell triples per (task, n) point:
+
+    * *parity points* (small n) — the benchmark asserts byte-identical
+      payloads across all three engine configurations, and re-runs the
+      solver stages with tracing on to compare full round timelines;
+    * *timing points* (n >= 200, denser than the sweep default so the
+      broadcast batches are wide) — the benchmark reports the v2-batched
+      speedup over v2-dict (the engine exactly as of the pre-batching
+      revision) and over v1, and ``--check`` requires >= 1.5x batched
+      vs dict on the E01 (MVC) and E12 (MDS) cells.
+
+    ``quick`` keeps the parity points and shrinks the timing points to CI
+    scale (seconds, not minutes).
+    """
+    points: list[tuple[str, int, float | None, float | None]] = [
+        # (task, n, eps, gnp_p); gnp_p None = generator default.
+        ("mvc-congest", 64, 0.5, None),
+        ("mds-congest", 32, None, 0.125),
+    ]
+    if quick:
+        points += [
+            ("mvc-congest", 96, 0.5, 0.1),
+            ("mds-congest", 48, None, 0.125),
+        ]
+    else:
+        points += [
+            ("mvc-congest", 240, 0.5, 0.1),
+            ("mds-congest", 208, None, 0.115),
+        ]
+    cells = []
+    for task, n, eps, p in points:
+        params = (("gnp_p", p),) if p is not None else ()
+        for engine in SOLVER_ENGINES:
+            cells.append(
+                Cell(
+                    task=task,
+                    graph="gnp",
+                    n=n,
+                    seed=n,
+                    eps=eps,
+                    engine=engine,
+                    params=params,
+                )
+            )
+    return GridSpec(
+        name="solver-engines-quick" if quick else "solver-engines",
+        cells=tuple(cells),
+    )
+
+
 def smoke_grid() -> GridSpec:
     """Small mixed grid for CI smoke runs (seconds, not minutes)."""
     cells = [
@@ -164,6 +221,8 @@ NAMED_GRIDS = {
     "e12-mds": e12_mds_grid,
     "engine-scaling": engine_scaling_grid,
     "engine-scaling-quick": lambda: engine_scaling_grid(quick=True),
+    "solver-engines": solver_engines_grid,
+    "solver-engines-quick": lambda: solver_engines_grid(quick=True),
     "smoke": smoke_grid,
     "parallel-bench": parallel_bench_grid,
 }

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import multiprocessing
 import signal
+import sys
 import threading
 import time
 import traceback
@@ -32,7 +34,18 @@ from typing import Any
 
 from repro.congest.network import RunStats
 from repro.sweep.spec import Cell, GridSpec
-from repro.sweep.tasks import get_task, stats_from_json
+from repro.sweep.tasks import (
+    export_graph_cache,
+    get_task,
+    install_graph_cache,
+    prewarm_graph_cache,
+    stats_from_json,
+)
+
+try:  # POSIX-only; RSS metering degrades to None elsewhere.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
 
 #: Cap on the traceback text shipped back from a failed worker.
 _ERROR_LIMIT = 4000
@@ -42,19 +55,35 @@ STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
 
 
-class CellTimeoutError(Exception):
-    """Raised inside a worker when a cell exceeds its time budget."""
+class CellTimeoutError(TimeoutError):
+    """Raised inside a worker when a cell exceeds its time budget.
+
+    Subclasses :class:`TimeoutError` so budget expiry stays recognizable
+    through code that swallows ordinary failures (the graph-cache prewarm
+    skips unbuildable cells but must re-raise timeouts).
+    """
 
 
 @dataclass
 class CellResult:
-    """Outcome of evaluating one cell."""
+    """Outcome of evaluating one cell.
+
+    ``max_rss_kb`` is the evaluating process's peak resident set size
+    (``resource.getrusage``) observed right after the cell ran, in KiB;
+    ``None`` where the ``resource`` module is unavailable.  It is a
+    process-lifetime high-water mark, so in serial runs it is monotone
+    across cells (the first big cell dominates later small ones); with a
+    process pool each worker's peak reflects only the cells it evaluated.
+    Like ``seconds`` it is machine-dependent and excluded from
+    :meth:`SweepResult.deterministic_json`.
+    """
 
     cell: Cell
     status: str
     payload: dict[str, Any] | None = None
     error: str | None = None
     seconds: float = 0.0
+    max_rss_kb: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -76,6 +105,7 @@ class CellResult:
         }
         if include_timing:
             data["seconds"] = self.seconds
+            data["max_rss_kb"] = self.max_rss_kb
         return data
 
 
@@ -229,6 +259,20 @@ def _alarm_handler(signum, frame):  # pragma: no cover - dispatched by OS
     raise CellTimeoutError
 
 
+def _peak_rss_kb() -> int | None:
+    """Peak RSS of this process in KiB, or None without ``resource``.
+
+    Linux reports ``ru_maxrss`` in KiB; macOS reports bytes and is
+    normalized by platform rather than by guessing from magnitude.
+    """
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        peak //= 1024
+    return int(peak)
+
+
 def evaluate_cell(
     cell: Cell, timeout: float | None = None, repeats: int = 1
 ) -> CellResult:
@@ -283,7 +327,11 @@ def evaluate_cell(
                 # to whichever result the task body produced.
                 _disarm()
         return CellResult(
-            cell=cell, status=STATUS_OK, payload=payload, seconds=best
+            cell=cell,
+            status=STATUS_OK,
+            payload=payload,
+            seconds=best,
+            max_rss_kb=_peak_rss_kb(),
         )
     except CellTimeoutError:
         _disarm()
@@ -292,6 +340,7 @@ def evaluate_cell(
             status=STATUS_TIMEOUT,
             error=f"cell exceeded timeout of {timeout:g}s",
             seconds=float(timeout or 0.0),
+            max_rss_kb=_peak_rss_kb(),
         )
     except Exception:
         _disarm()
@@ -299,6 +348,7 @@ def evaluate_cell(
             cell=cell,
             status=STATUS_ERROR,
             error=traceback.format_exc(limit=20)[-_ERROR_LIMIT:],
+            max_rss_kb=_peak_rss_kb(),
         )
 
 
@@ -310,11 +360,59 @@ def _evaluate_remote(
     return evaluate_cell(cell, timeout=timeout, repeats=repeats)
 
 
+def _install_cache_in_worker(graphs) -> None:
+    """Pool initializer for non-``fork`` start methods.
+
+    ``graphs`` is the parent's exported graph cache; it is pickled once
+    per worker (not once per cell), which is the whole point — repeated
+    cells on the same graph stop paying generation *and* shipping cost.
+    """
+    install_graph_cache(graphs)
+
+
+def _prewarm_with_budget(cells, timeout: float | None) -> None:
+    """Prewarm the graph cache, bounded by the per-cell time budget.
+
+    Without a bound, a pathologically slow graph construction would hang
+    the whole sweep in the parent before any cell's own ``SIGALRM`` is
+    armed.  The prewarm therefore runs under one alarm of ``timeout``
+    seconds (the same budget a single cell gets); on expiry the remaining
+    graphs are simply left unwarmed — their cells build them under their
+    own per-cell alarms and time out individually, exactly as without the
+    cache.  Where ``SIGALRM`` is unavailable the prewarm is unbounded,
+    matching the per-cell timeout's own degradation.
+    """
+    use_alarm = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        prewarm_graph_cache(cells)
+        return
+    old_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        prewarm_graph_cache(cells)
+    except CellTimeoutError:
+        pass
+    finally:
+        try:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+        except CellTimeoutError:
+            # The alarm fired in the instant before setitimer(0) took
+            # effect; the itimer is one-shot, so just finish disarming.
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
 def run_sweep(
     grid: GridSpec,
     jobs: int = 1,
     timeout: float | None = None,
     repeats: int = 1,
+    graph_cache: bool = True,
 ) -> SweepResult:
     """Evaluate every cell of ``grid`` and merge the outcomes.
 
@@ -325,17 +423,37 @@ def run_sweep(
     an ``error`` result for the cells it took down — the pool raises
     ``BrokenProcessPool`` for their futures rather than hanging, which is
     why this uses ``concurrent.futures`` and not ``multiprocessing.Pool``.
+
+    With ``graph_cache`` (the default) every distinct workload graph of
+    the grid is built once in the parent before evaluation starts and
+    shared with the workers — inherited for free under the ``fork`` start
+    method, shipped once per worker through the pool initializer under
+    ``spawn``/``forkserver`` — so cells that differ only in solver-side
+    axes (engine, eps, replicates on a fixed ``graph_seed``) stop paying
+    graph-generation cost.  Graph construction is deterministic, so cached
+    and freshly built graphs are identical and the merged results are
+    unaffected.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     start = time.perf_counter()
+    if graph_cache:
+        _prewarm_with_budget(grid.cells, timeout)
     if jobs == 1 or len(grid.cells) <= 1:
         results = [
             evaluate_cell(cell, timeout=timeout, repeats=repeats)
             for cell in grid.cells
         ]
     else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        initializer = initargs = None
+        if graph_cache and multiprocessing.get_start_method() != "fork":
+            initializer = _install_cache_in_worker
+            initargs = (export_graph_cache(),)
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=initializer,
+            initargs=initargs or (),
+        ) as pool:
             futures = [
                 (cell, pool.submit(_evaluate_remote, (cell, timeout, repeats)))
                 for cell in grid.cells
