@@ -11,11 +11,16 @@ arXiv:2006.03746).  The package provides:
   26, 28; Corollaries 10, 17; Lemmas 6, 29);
 * :mod:`repro.lowerbounds` — every lower-bound graph family (Figures 1-7;
   Theorems 20, 22, 31, 35, 41; Lemma 25) with exact-solver verification;
-* :mod:`repro.hardness` — the centralized reductions (Theorems 44-45).
+* :mod:`repro.hardness` — the centralized reductions (Theorems 44-45);
+* :mod:`repro.mpc` — the low-space MPC backend: metered machines,
+  CONGEST round-compilation with engine-v2 parity, native matching;
+* :mod:`repro.sweep` — the parallel grid sweep runner behind the
+  benchmarks and the CLI.
 """
 
 from repro.graphs import square, graph_power
 from repro.congest import CongestNetwork, CongestedCliqueNetwork
+from repro.mpc import MPCCongestNetwork, mpc_maximal_matching
 from repro.core import (
     approx_mvc_square,
     approx_mwvc_square,
@@ -32,6 +37,8 @@ __all__ = [
     "graph_power",
     "CongestNetwork",
     "CongestedCliqueNetwork",
+    "MPCCongestNetwork",
+    "mpc_maximal_matching",
     "approx_mvc_square",
     "approx_mwvc_square",
     "approx_mvc_square_clique_deterministic",

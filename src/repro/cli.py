@@ -65,6 +65,34 @@ from repro.sweep.grids import NAMED_GRIDS
 from repro.sweep.tasks import task_names
 
 
+def _last_error_line(result) -> str:
+    """Final traceback line of a failed cell, or its bare status."""
+    lines = (result.error or "").strip().splitlines()
+    return lines[-1] if lines else result.status
+
+
+def _reject_engine_for_mpc(args: argparse.Namespace) -> bool:
+    """Whether --engine was (illegally) combined with --model mpc."""
+    if args.engine is None:
+        return False
+    print(
+        "error: --engine selects a CONGEST engine; the mpc model "
+        "has its own runtime (tune --alpha instead)",
+        file=sys.stderr,
+    )
+    return True
+
+
+def _print_mpc_ledger(payload: dict) -> None:
+    shuffle = payload["shuffle"]
+    print(
+        f"mpc: machines={payload['machines']} S={payload['budget_words']} "
+        f"words (alpha={payload['alpha']:g})  shuffles={shuffle['rounds']} "
+        f"shuffle_words={shuffle['total_words']} "
+        f"max_machine_load={shuffle['max_in_words']}"
+    )
+
+
 def _cmd_mvc(args: argparse.Namespace) -> int:
     graph = build_graph(args.graph, args.n, seed=args.seed)
     sq = square(graph)
@@ -73,6 +101,17 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
             graph, args.eps, seed=args.seed, engine=args.engine
         )
         cover, rounds = result.cover, result.stats.rounds
+    elif args.model == "mpc":
+        if _reject_engine_for_mpc(args):
+            return 2
+        from repro.mpc.compile_congest import solve_mvc_mpc
+
+        result, mpc_payload = solve_mvc_mpc(
+            graph, args.eps, alpha=args.alpha, seed=args.seed,
+            check_parity=True,
+        )
+        cover, rounds = result.cover, result.stats.rounds
+        _print_mpc_ledger(mpc_payload)
     elif args.model == "clique-det":
         result = approx_mvc_square_clique_deterministic(
             graph, args.eps, seed=args.seed, engine=args.engine
@@ -106,7 +145,17 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
 def _cmd_mds(args: argparse.Namespace) -> int:
     graph = build_graph(args.graph, args.n, seed=args.seed)
     sq = square(graph)
-    result = approx_mds_square(graph, seed=args.seed, engine=args.engine)
+    if args.model == "mpc":
+        if _reject_engine_for_mpc(args):
+            return 2
+        from repro.mpc.compile_congest import solve_mds_mpc
+
+        result, mpc_payload = solve_mds_mpc(
+            graph, alpha=args.alpha, seed=args.seed, check_parity=True
+        )
+        _print_mpc_ledger(mpc_payload)
+    else:
+        result = approx_mds_square(graph, seed=args.seed, engine=args.engine)
     assert_dominating_set(sq, result.cover)
     print(f"graph: {args.graph} n={graph.number_of_nodes()} "
           f"m={graph.number_of_edges()}")
@@ -149,7 +198,45 @@ def _verify_grid(family: str, k: int, samples: int) -> GridSpec:
     return GridSpec(name=f"verify-{family}", cells=cells)
 
 
+def _mpc_verify_grid(n: int, alpha: float, samples: int) -> GridSpec:
+    """One round-compilation parity cell per sampled seed."""
+    cells = tuple(
+        Cell(
+            task="mpc-parity",
+            graph="gnp",
+            n=n,
+            seed=seed,
+            params=(("alpha", alpha), ("gnp_p", min(0.3, 4.0 / max(n, 2)))),
+        )
+        for seed in range(samples)
+    )
+    return GridSpec(name="verify-mpc", cells=cells)
+
+
+def _cmd_verify_mpc(args: argparse.Namespace) -> int:
+    grid = _mpc_verify_grid(args.n, args.alpha, args.samples)
+    sweep = run_sweep(grid, jobs=args.jobs)
+    failures = 0
+    for result in sweep:
+        if not result.ok:
+            failures += 1
+            print(f"seed={result.cell.seed}: {result.status} "
+                  f"({_last_error_line(result)})")
+            continue
+        payload = result.payload or {}
+        print(f"seed={result.cell.seed}: stages={payload['stages']} "
+              f"rounds={payload['congest_rounds']} "
+              f"matching={payload['matching_size']} "
+              f"(oracle {payload['oracle_size']}) "
+              f"machines={payload['mpc']['machines']} -> ok")
+    print(f"{args.samples - failures}/{args.samples} round-compilation "
+          f"parity samples verified (alpha={args.alpha:g}, n={args.n})")
+    return 1 if failures else 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.model == "mpc":
+        return _cmd_verify_mpc(args)
     grid = _verify_grid(args.family, args.k, args.samples)
     sweep = run_sweep(grid, jobs=args.jobs)
     failures = 0
@@ -157,7 +244,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         if not result.ok:
             failures += 1
             print(f"seed={result.cell.seed}: {result.status} "
-                  f"({(result.error or '').strip().splitlines()[-1]})")
+                  f"({_last_error_line(result)})")
             continue
         payload = result.payload or {}
         ok = payload["ok"]
@@ -179,25 +266,58 @@ def _sweep_grid_from_args(args: argparse.Namespace) -> GridSpec:
     if args.grid is not None:
         if args.task is not None:
             raise SystemExit("pass either --grid or --task, not both")
+        if args.model != "congest" or args.alphas:
+            raise SystemExit(
+                "--model/--alphas apply to ad-hoc --task grids; named "
+                "grids fix their model and alphas per cell"
+            )
         return named_grid(args.grid)
     if args.task is None:
         raise SystemExit("sweep requires --grid NAME or --task NAME")
+    is_mpc_task = args.task.startswith("mpc-")
+    if is_mpc_task != (args.model == "mpc"):
+        raise SystemExit(
+            f"task {args.task!r} belongs to the "
+            f"{'mpc' if is_mpc_task else 'congest'} model; pass a matching "
+            f"--model"
+        )
+    alphas: tuple[float, ...] = ()
+    if args.alphas:
+        if args.model != "mpc":
+            raise SystemExit("--alphas requires --model mpc")
+        alphas = _parse_list(args.alphas, float)
+    elif args.model == "mpc":
+        alphas = (0.8,)
     engines: tuple[str | None, ...] = (None,)
     if args.engines:
+        if args.model == "mpc":
+            raise SystemExit(
+                "--engines selects CONGEST engines; the mpc model has its "
+                "own runtime (sweep --alphas instead)"
+            )
         engines = _parse_list(args.engines, str)
     epss: tuple[float | None, ...] = (None,)
     if args.epss:
         epss = _parse_list(args.epss, float)
-    grid = expand_grid(
-        name=f"adhoc-{args.task}",
-        task=args.task,
-        graphs=_parse_list(args.graphs, str),
-        ns=_parse_list(args.ns, int),
-        epss=epss,
-        engines=engines,
-        replicates=args.replicates,
-        base_seed=args.base_seed,
-    )
+    # One expansion per alpha (an extra per-cell axis the cartesian helper
+    # does not know about); seeds derive from the non-alpha coordinates,
+    # so the same point at two alphas evaluates the same workload graph.
+    cells = []
+    for alpha in alphas or (None,):
+        params = (("alpha", alpha),) if alpha is not None else ()
+        expansion = expand_grid(
+            name=f"adhoc-{args.task}",
+            task=args.task,
+            graphs=_parse_list(args.graphs, str),
+            ns=_parse_list(args.ns, int),
+            epss=epss,
+            engines=engines,
+            replicates=args.replicates,
+            base_seed=args.base_seed,
+            params=params,
+        )
+        cells.extend(expansion.cells)
+    grid = GridSpec(name=f"adhoc-{args.task}", cells=tuple(cells))
     if not grid.cells:
         # An empty axis (e.g. --ns "" from an unset shell variable) would
         # otherwise "succeed" vacuously with 0 cells and exit 0.
@@ -255,8 +375,10 @@ def build_parser() -> argparse.ArgumentParser:
     mvc.add_argument("--graph", choices=GRAPH_KINDS, default="gnp")
     mvc.add_argument(
         "--model",
-        choices=("congest", "clique-det", "clique-rand", "centralized"),
+        choices=("congest", "clique-det", "clique-rand", "centralized", "mpc"),
         default="congest",
+        help="execution model; mpc compiles the CONGEST rounds onto "
+        "low-space machines (with an engine-v2 parity check)",
     )
     mvc.add_argument(
         "--engine",
@@ -264,6 +386,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="simulator engine (default: REPRO_ENGINE env or v2; "
         "v2-dict disables the batched-outbox fast path)",
+    )
+    mvc.add_argument(
+        "--alpha",
+        type=float,
+        default=0.8,
+        help="mpc model only: per-machine memory exponent, S=ceil(n^alpha)",
     )
     mvc.add_argument("--exact", action="store_true")
     mvc.set_defaults(func=_cmd_mvc)
@@ -273,11 +401,24 @@ def build_parser() -> argparse.ArgumentParser:
     mds.add_argument("--seed", type=int, default=0)
     mds.add_argument("--graph", choices=GRAPH_KINDS, default="gnp")
     mds.add_argument(
+        "--model",
+        choices=("congest", "mpc"),
+        default="congest",
+        help="execution model; mpc compiles the CONGEST rounds onto "
+        "low-space machines (with an engine-v2 parity check)",
+    )
+    mds.add_argument(
         "--engine",
         choices=("v1", "v2", "v2-dict"),
         default=None,
         help="simulator engine (default: REPRO_ENGINE env or v2; "
         "v2-dict disables the batched-outbox fast path)",
+    )
+    mds.add_argument(
+        "--alpha",
+        type=float,
+        default=0.8,
+        help="mpc model only: per-machine memory exponent, S=ceil(n^alpha)",
     )
     mds.add_argument("--exact", action="store_true")
     mds.set_defaults(func=_cmd_mds)
@@ -289,10 +430,31 @@ def build_parser() -> argparse.ArgumentParser:
     gallery.add_argument("--seed", type=int, default=0)
     gallery.set_defaults(func=_cmd_gallery)
 
-    verify = sub.add_parser("verify", help="verify a family's predicate")
+    verify = sub.add_parser(
+        "verify",
+        help="verify a family's predicate, or (--model mpc) the "
+        "round-compilation parity claim",
+    )
+    verify.add_argument(
+        "--model",
+        choices=("congest", "mpc"),
+        default="congest",
+        help="congest: exact-solver verification of a lower-bound family; "
+        "mpc: stage parity vs engine v2 plus matching maximality, over "
+        "sampled seeds",
+    )
     verify.add_argument("--family", choices=families, default="ckp17")
     verify.add_argument("--k", type=int, default=2)
     verify.add_argument("--samples", type=int, default=5)
+    verify.add_argument(
+        "--n", type=int, default=16, help="mpc model only: workload size"
+    )
+    verify.add_argument(
+        "--alpha",
+        type=float,
+        default=0.9,
+        help="mpc model only: per-machine memory exponent",
+    )
     verify.add_argument(
         "--jobs",
         type=int,
@@ -330,6 +492,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--engines",
         default="",
         help="comma-separated engines (v1,v2,v2-dict); empty = engine default",
+    )
+    sweep.add_argument(
+        "--model",
+        choices=("congest", "mpc"),
+        default="congest",
+        help="ad-hoc grids: execution model the --task belongs to "
+        "(mpc-* tasks require --model mpc)",
+    )
+    sweep.add_argument(
+        "--alphas",
+        default="",
+        help="comma-separated memory exponents for --model mpc "
+        "(one grid expansion per alpha; default 0.8)",
     )
     sweep.add_argument("--replicates", type=int, default=1)
     sweep.add_argument("--base-seed", type=int, default=0)

@@ -81,6 +81,13 @@ the contract differentially, and ``benchmarks/bench_engine_scaling.py`` /
 ``benchmarks/bench_solver_engines.py`` re-check it at benchmark scale via
 the sweep runner's per-cell engine selection.
 
+Per-round instrumentation: both engines deliver a structured
+:class:`~repro.congest.network.RoundEvent` (round index, messages, words,
+cut words, awake-node count) to an ``on_round`` callback — per run or as a
+network-level default — as each round ends.  Events never affect
+execution; the parity contract covers every field except ``awake``, which
+deliberately exposes how many nodes each engine actually invoked.
+
 Engine selection: the ``engine=`` constructor argument of
 :class:`~repro.congest.network.CongestNetwork` wins; otherwise the
 ``REPRO_ENGINE`` environment variable; otherwise :data:`DEFAULT_ENGINE`.
@@ -150,6 +157,29 @@ def resolve_engine_name(name: str | None = None) -> str:
     return canonical
 
 
+def _emit_round_event(
+    hook, round_index: int, messages: int, words: int, awake: int, cut_words: int
+) -> None:
+    """Deliver one RoundEvent to ``hook`` (no-op when ``hook`` is None).
+
+    The single construction point for both engines and the spin loop, so
+    the event shape cannot drift between v1 and v2.
+    """
+    if hook is None:
+        return
+    from repro.congest.network import RoundEvent
+
+    hook(
+        RoundEvent(
+            round_index=round_index,
+            messages=messages,
+            words=words,
+            awake=awake,
+            cut_words=cut_words,
+        )
+    )
+
+
 def create_engine(network: "CongestNetwork", name: str | None = None) -> "Engine":
     """Instantiate the engine ``name`` (resolved per module rules) for ``network``."""
     canonical = resolve_engine_name(name)
@@ -172,6 +202,7 @@ class Engine:
         inputs: Mapping[Any, Any] | None = None,
         max_rounds: int | None = None,
         trace: bool = False,
+        on_round=None,
     ) -> "RunResult":
         raise NotImplementedError
 
@@ -183,6 +214,7 @@ class Engine:
         inputs: Mapping[Any, Any] | None,
         max_rounds: int | None,
         trace: bool,
+        on_round=None,
     ):
         from repro.congest.network import DEFAULT_ROUND_FACTOR, RunStats
 
@@ -193,7 +225,9 @@ class Engine:
         algorithms = [factory(view) for view in views]
         stats = RunStats(word_bits=network.word_bits)
         timeline = [] if trace else None
-        return algorithms, stats, timeline, max_rounds
+        # Per-run callback wins; otherwise the network-level default.
+        hook = on_round if on_round is not None else network.on_round
+        return algorithms, stats, timeline, max_rounds, hook
 
     def _result(self, algorithms: list["NodeAlgorithm"], stats, timeline):
         from repro.congest.network import RunResult
@@ -219,12 +253,13 @@ class SynchronousEngine(Engine):
         inputs: Mapping[Any, Any] | None = None,
         max_rounds: int | None = None,
         trace: bool = False,
+        on_round=None,
     ) -> "RunResult":
         from repro.congest.network import RoundRecord
 
         network = self.network
-        algorithms, stats, timeline, max_rounds = self._setup(
-            factory, inputs, max_rounds, trace
+        algorithms, stats, timeline, max_rounds, hook = self._setup(
+            factory, inputs, max_rounds, trace, on_round
         )
 
         pending: dict[int, dict[int, Any]] = {i: {} for i in range(network.n)}
@@ -239,6 +274,10 @@ class SynchronousEngine(Engine):
                     active_nodes=sum(1 for a in algorithms if not a.done),
                 )
             )
+        _emit_round_event(
+            hook, 0, stats.messages, stats.total_words, len(algorithms),
+            stats.cut_words,
+        )
 
         while not all(alg.done for alg in algorithms):
             if stats.rounds >= max_rounds:
@@ -249,10 +288,13 @@ class SynchronousEngine(Engine):
             stats.rounds += 1
             before_messages = stats.messages
             before_words = stats.total_words
+            before_cut = stats.cut_words
+            awake = 0
             inboxes, pending = pending, {i: {} for i in range(network.n)}
             for alg in algorithms:
                 if alg.done:
                     continue
+                awake += 1
                 outbox = alg.on_round(inboxes[alg.node.id])
                 # A node may send a final outbox in the round it finishes.
                 network._collect(alg, outbox, pending, stats)
@@ -265,6 +307,11 @@ class SynchronousEngine(Engine):
                         active_nodes=sum(1 for a in algorithms if not a.done),
                     )
                 )
+            _emit_round_event(
+                hook, stats.rounds, stats.messages - before_messages,
+                stats.total_words - before_words, awake,
+                stats.cut_words - before_cut,
+            )
 
         return self._result(algorithms, stats, timeline)
 
@@ -358,12 +405,13 @@ class ActivityEngine(Engine):
         inputs: Mapping[Any, Any] | None = None,
         max_rounds: int | None = None,
         trace: bool = False,
+        on_round=None,
     ) -> "RunResult":
         from repro.congest.network import RoundRecord
 
         network = self.network
-        algorithms, stats, timeline, max_rounds = self._setup(
-            factory, inputs, max_rounds, trace
+        algorithms, stats, timeline, max_rounds, hook = self._setup(
+            factory, inputs, max_rounds, trace, on_round
         )
         ring = MailboxRing(network.n)
         scheduler = ActivityScheduler(network.n)
@@ -383,6 +431,10 @@ class ActivityEngine(Engine):
                     active_nodes=scheduler.live,
                 )
             )
+        _emit_round_event(
+            hook, 0, stats.messages, stats.total_words, len(algorithms),
+            stats.cut_words,
+        )
 
         while scheduler.live:
             if stats.rounds >= max_rounds:
@@ -393,6 +445,8 @@ class ActivityEngine(Engine):
             stats.rounds += 1
             before_messages = stats.messages
             before_words = stats.total_words
+            before_cut = stats.cut_words
+            awake = 0
             runnable = scheduler.runnable(ring.flip())
             for node_id in runnable:
                 alg = algorithms[node_id]
@@ -400,6 +454,7 @@ class ActivityEngine(Engine):
                     # Late traffic addressed to a finished node: metered at
                     # send time (as in v1), never delivered.
                     continue
+                awake += 1
                 outbox = alg.on_round(ring.inbox(node_id))
                 self._collect(alg, outbox, ring, stats)
                 if alg.done:
@@ -415,12 +470,19 @@ class ActivityEngine(Engine):
                         active_nodes=scheduler.live,
                     )
                 )
+            _emit_round_event(
+                hook, stats.rounds, stats.messages - before_messages,
+                stats.total_words - before_words, awake,
+                stats.cut_words - before_cut,
+            )
             if not runnable and not ring.has_pending():
-                self._spin_to_limit(stats, timeline, max_rounds, scheduler)
+                self._spin_to_limit(stats, timeline, max_rounds, scheduler, hook)
 
         return self._result(algorithms, stats, timeline)
 
-    def _spin_to_limit(self, stats, timeline, max_rounds: int, scheduler) -> None:
+    def _spin_to_limit(
+        self, stats, timeline, max_rounds: int, scheduler, hook=None
+    ) -> None:
         """Every live node sleeps and no traffic is in flight: nothing can
         ever happen again.  The reference engine would keep running empty
         rounds to the limit; reproduce its trace and error exactly."""
@@ -442,6 +504,7 @@ class ActivityEngine(Engine):
                         active_nodes=scheduler.live,
                     )
                 )
+            _emit_round_event(hook, stats.rounds, 0, 0, 0, 0)
 
     def _collect(
         self,

@@ -96,6 +96,28 @@ class RoundRecord:
 
 
 @dataclass
+class RoundEvent:
+    """One engine round, delivered to an ``on_round`` callback as it ends.
+
+    The structured form of the trace timeline: consumers (benchmarks, the
+    MPC round-compiler's parity check) receive events while the run is in
+    flight instead of re-deriving per-round quantities from summed
+    ``RunStats`` afterwards.  ``round_index``, ``messages``, ``words`` and
+    ``cut_words`` are engine-independent (the v1/v2 parity contract covers
+    them); ``awake`` counts the nodes actually *invoked* this round, which
+    is where the engines legitimately differ — v1 invokes every live node,
+    v2 only traffic- or self-woken ones — so it is exactly the quantity an
+    activity-scheduling experiment wants to see.
+    """
+
+    round_index: int
+    messages: int
+    words: int
+    awake: int
+    cut_words: int = 0
+
+
+@dataclass
 class RunResult:
     """Outputs and resource usage of a completed run."""
 
@@ -130,6 +152,11 @@ class CongestNetwork:
         Which execution engine runs the rounds: ``"v1"`` (reference) or
         ``"v2"`` (activity-scheduled, default).  ``None`` defers to the
         ``REPRO_ENGINE`` environment variable, then the package default.
+    on_round:
+        Optional default :class:`RoundEvent` callback applied to every
+        ``run`` on this network (a per-``run`` ``on_round=`` argument
+        overrides it for that run).  Lets multi-stage drivers instrument
+        all their stages by constructing the network once.
     """
 
     def __init__(
@@ -140,6 +167,7 @@ class CongestNetwork:
         seed: int = 0,
         cut: Iterable[tuple[Any, Any]] | None = None,
         engine: str | None = None,
+        on_round: Callable[["RoundEvent"], None] | None = None,
     ) -> None:
         if graph.number_of_nodes() == 0:
             raise ValueError("network must have at least one node")
@@ -149,6 +177,7 @@ class CongestNetwork:
         self.word_limit = word_limit
         self.strict = strict
         self.seed = seed
+        self.on_round = on_round
 
         ordering = sorted(graph.nodes, key=repr)
         self._label_of = dict(enumerate(ordering))
@@ -249,6 +278,7 @@ class CongestNetwork:
         inputs: Mapping[Any, Any] | None = None,
         max_rounds: int | None = None,
         trace: bool = False,
+        on_round: Callable[[RoundEvent], None] | None = None,
     ) -> RunResult:
         """Run one algorithm instance per node until all finish.
 
@@ -256,14 +286,20 @@ class CongestNetwork:
         graph labels.  Raises :class:`RoundLimitError` if the algorithm does
         not terminate within ``max_rounds`` (default ``20 * n**2 + 1000``).
         With ``trace=True`` the result carries a per-round traffic timeline
-        (round 0 records the ``on_start`` sends).
+        (round 0 records the ``on_start`` sends).  ``on_round`` receives a
+        :class:`RoundEvent` as each round ends (round 0 included),
+        overriding the network-level default callback for this run.
 
         The round loop is executed by the engine chosen at construction
         time (see :mod:`repro.congest.engine`); every engine produces
         identical results.
         """
         return self._engine.run(
-            factory, inputs=inputs, max_rounds=max_rounds, trace=trace
+            factory,
+            inputs=inputs,
+            max_rounds=max_rounds,
+            trace=trace,
+            on_round=on_round,
         )
 
     def _collect(

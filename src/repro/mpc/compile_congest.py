@@ -1,0 +1,441 @@
+"""CONGEST-to-MPC round compilation: run any ``NodeAlgorithm`` on machines.
+
+The classical simulation argument — one CONGEST round compiles to O(1) MPC
+rounds once every vertex's incident messages fit on its host machine —
+made executable.  :class:`MPCCongestNetwork` partitions the vertices of a
+graph across low-space machines (budget ``S = ceil(n^alpha)`` words) and
+executes any existing :class:`~repro.congest.algorithm.NodeAlgorithm`
+**unchanged**, routing each CONGEST round through exactly one metered
+shuffle of :class:`~repro.mpc.runtime.MPCRuntime`: a message between
+co-hosted vertices stays machine-local, everything else becomes an
+``(sender, target, payload)`` envelope to the target's host.
+
+Two ledgers are kept at once, and that is the point:
+
+* the **CONGEST ledger** — the inherited
+  :meth:`~repro.congest.network.CongestNetwork._collect` validates and
+  meters every (sender, target, payload) exactly as the reference engine
+  does, so ``RunResult`` outputs, ``RunStats`` and traces are word-for-word
+  identical to engines v1/v2 on the same graph and seed (the *parity
+  claim*, asserted by :func:`solve_with_parity` against a live engine-v2
+  shadow network consuming the per-round ``RoundEvent`` stream);
+* the **MPC ledger** — the runtime meters shuffle words, per-machine
+  send/receive loads and budget violations, which is where ``alpha``
+  bites: smaller budgets mean more machines, more cross traffic and
+  eventually :class:`~repro.mpc.machine.MemoryBudgetExceeded`.
+
+The MPC analogues anchoring this adapter: deterministic low-space ruling
+sets compile CONGEST-style local steps the same way ([PaiP22]_,
+arXiv:2205.12686), and the component-stability framework ([CzumajDP21]_,
+arXiv:2106.01880) is exactly about which such simulations are legitimate
+in sublinear space.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
+
+import networkx as nx
+
+from repro.congest.errors import RoundLimitError
+from repro.congest.network import (
+    DEFAULT_ROUND_FACTOR,
+    AlgorithmFactory,
+    CongestNetwork,
+    RoundEvent,
+    RoundRecord,
+    RunResult,
+    RunStats,
+)
+from repro.mpc.machine import Machine, memory_budget
+from repro.mpc.partition import partition_vertices
+from repro.mpc.runtime import MPCRuntime
+
+
+class ParityError(AssertionError):
+    """The compiled run diverged from the engine-v2 shadow run."""
+
+
+class MPCCongestNetwork(CongestNetwork):
+    """A CONGEST network whose rounds execute on low-space MPC machines.
+
+    Drop-in for :class:`CongestNetwork` everywhere a solver accepts
+    ``network=``: identifier mapping, metering, per-node randomness and
+    state handling are inherited, so results match the CONGEST engines
+    exactly; only the execution substrate (and the extra MPC ledger)
+    differs.  Construction partitions vertices and their adjacency lists
+    across machines and charges each machine's storage — a too-small
+    ``alpha`` fails here, before any round runs.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        alpha: float = 0.8,
+        word_limit: int = 8,
+        strict: bool = True,
+        seed: int = 0,
+        cut: Iterable[tuple[Any, Any]] | None = None,
+        io_factor: float = 8.0,
+        on_round: Callable[[RoundEvent], None] | None = None,
+    ) -> None:
+        # The base class insists on building an engine; pin "v1" so the
+        # construction never depends on REPRO_ENGINE.  It is never used —
+        # run() below executes the rounds on the MPC runtime instead.
+        super().__init__(
+            graph,
+            word_limit=word_limit,
+            strict=strict,
+            seed=seed,
+            cut=cut,
+            engine="v1",
+            on_round=on_round,
+        )
+        self.alpha = alpha
+        self.budget_words = memory_budget(self.n, alpha)
+        self.assignment = partition_vertices(graph, self.budget_words, seed=seed)
+        self._host = self.assignment.machine_of
+        self.machines = [
+            Machine(mid, self.budget_words, io_factor=io_factor)
+            for mid in range(self.assignment.num_machines)
+        ]
+        for node_id, mid in enumerate(self._host):
+            self.machines[mid].charge(
+                1 + len(self._adjacency[node_id]),
+                what=f"vertex {self.label_of(node_id)!r} and its adjacency",
+            )
+        self.runtime = MPCRuntime(self.machines, self.word_bits)
+
+    @property
+    def engine_name(self) -> str:
+        return "mpc"
+
+    @property
+    def num_machines(self) -> int:
+        return self.assignment.num_machines
+
+    def partition_digest(self) -> str:
+        """Cross-process-stable fingerprint of the vertex partition."""
+        return self.assignment.digest()
+
+    def mpc_summary(self) -> dict[str, Any]:
+        """JSON-ready MPC ledger for sweep payloads and benchmarks."""
+        return {
+            "model": "mpc",
+            "alpha": self.alpha,
+            "budget_words": self.budget_words,
+            "machines": self.num_machines,
+            "partition_digest": self.partition_digest(),
+            "shuffle": self.runtime.stats.to_json(),
+        }
+
+    # -- compiled execution -------------------------------------------------
+
+    def run(
+        self,
+        factory: AlgorithmFactory,
+        inputs: Mapping[Any, Any] | None = None,
+        max_rounds: int | None = None,
+        trace: bool = False,
+        on_round: Callable[[RoundEvent], None] | None = None,
+    ) -> RunResult:
+        """Execute one CONGEST algorithm, one shuffle per round.
+
+        The loop is the reference engine's, verbatim in structure: the
+        only difference is that each round's pending messages reach their
+        targets' inboxes through :meth:`MPCRuntime.shuffle` instead of a
+        dictionary swap.  Inboxes are re-sorted to ascending sender order
+        afterwards, which is the order the per-message reference loop
+        produces, so algorithms observe identical inbox iteration order.
+        """
+        if max_rounds is None:
+            max_rounds = DEFAULT_ROUND_FACTOR * self.n * self.n + 1000
+        hook = on_round if on_round is not None else self.on_round
+        views = self._make_views(inputs)
+        algorithms = [factory(view) for view in views]
+        stats = RunStats(word_bits=self.word_bits)
+        timeline: list[RoundRecord] | None = [] if trace else None
+
+        pending: dict[int, dict[int, Any]] = {i: {} for i in range(self.n)}
+        for alg in algorithms:
+            self._collect(alg, alg.on_start(), pending, stats)
+        self._emit(timeline, hook, 0, stats.messages, stats.total_words,
+                   len(algorithms), stats.cut_words,
+                   sum(1 for a in algorithms if not a.done))
+
+        while not all(alg.done for alg in algorithms):
+            if stats.rounds >= max_rounds:
+                raise RoundLimitError(
+                    f"no termination within {max_rounds} rounds "
+                    f"({sum(1 for a in algorithms if not a.done)} nodes alive)"
+                )
+            stats.rounds += 1
+            before_messages = stats.messages
+            before_words = stats.total_words
+            before_cut = stats.cut_words
+            live_machines = len(
+                {self._host[a.node.id] for a in algorithms if not a.done}
+            )
+            inboxes = self._shuffle_round(pending, live_machines)
+            pending = {i: {} for i in range(self.n)}
+            awake = 0
+            for alg in algorithms:
+                if alg.done:
+                    continue
+                awake += 1
+                outbox = alg.on_round(inboxes[alg.node.id])
+                self._collect(alg, outbox, pending, stats)
+            self._emit(
+                timeline, hook, stats.rounds,
+                stats.messages - before_messages,
+                stats.total_words - before_words,
+                awake, stats.cut_words - before_cut,
+                sum(1 for a in algorithms if not a.done),
+            )
+
+        outputs = {
+            self._label_of[alg.node.id]: alg.output for alg in algorithms
+        }
+        by_id = {alg.node.id: alg.output for alg in algorithms}
+        return RunResult(
+            outputs=outputs, stats=stats, by_id=by_id, trace=timeline
+        )
+
+    def _emit(
+        self, timeline, hook, round_index, messages, words, awake, cut, alive
+    ) -> None:
+        if timeline is not None:
+            timeline.append(
+                RoundRecord(
+                    round_index=round_index,
+                    messages=messages,
+                    words=words,
+                    active_nodes=alive,
+                )
+            )
+        if hook is not None:
+            hook(
+                RoundEvent(
+                    round_index=round_index,
+                    messages=messages,
+                    words=words,
+                    awake=awake,
+                    cut_words=cut,
+                )
+            )
+
+    def _shuffle_round(
+        self, pending: dict[int, dict[int, Any]], live_machines: int
+    ) -> dict[int, dict[int, Any]]:
+        """Route one CONGEST round's messages through one MPC shuffle."""
+        host = self._host
+        outboxes: list[list[tuple[int, Any]]] = [
+            [] for _ in range(self.num_machines)
+        ]
+        inboxes: dict[int, dict[int, Any]] = {i: {} for i in range(self.n)}
+        for target, senders in pending.items():
+            target_host = host[target]
+            box = inboxes[target]
+            for sender, payload in senders.items():
+                if host[sender] == target_host:
+                    box[sender] = payload
+                else:
+                    outboxes[host[sender]].append(
+                        (target_host, (sender, target, payload))
+                    )
+        delivered = self.runtime.shuffle(outboxes, active=live_machines)
+        for envelopes in delivered:
+            for _src, (sender, target, payload) in envelopes:
+                inboxes[target][sender] = payload
+        # Reference inbox order: ascending sender id (the order the
+        # per-message loop inserts).  Local and shuffled messages arrive
+        # interleaved here, so normalize.
+        for target, box in inboxes.items():
+            if len(box) > 1:
+                inboxes[target] = dict(sorted(box.items()))
+        return inboxes
+
+
+# -- parity harness ---------------------------------------------------------
+
+
+def _event_key(event: RoundEvent) -> tuple[int, int, int, int]:
+    # ``awake`` is engine-dependent by design (the compiled run invokes
+    # every live node, v2 sleeps); everything else must agree.
+    return (event.round_index, event.messages, event.words, event.cut_words)
+
+
+def solve_with_parity(
+    solver: Callable[..., Any],
+    graph: nx.Graph,
+    alpha: float,
+    seed: int = 0,
+    io_factor: float = 8.0,
+) -> tuple[Any, MPCCongestNetwork, dict[str, Any]]:
+    """Run ``solver`` on the MPC backend and on an engine-v2 shadow.
+
+    ``solver(network=...)`` must accept a prebuilt network (all the
+    ``repro.core`` drivers do) and return an object with ``cover`` and
+    ``stats`` attributes.  Both networks share the graph and seed, so the
+    runs must agree on the solution, on every ``RunStats`` field and on
+    the per-round ``RoundEvent`` stream (messages/words/cut words, round
+    by round, across all stages) — any divergence raises
+    :class:`ParityError`.  Returns ``(mpc_result, mpc_network, report)``.
+    """
+    ref_events: list[RoundEvent] = []
+    mpc_events: list[RoundEvent] = []
+    ref_net = CongestNetwork(
+        graph, seed=seed, engine="v2", on_round=ref_events.append
+    )
+    ref_result = solver(network=ref_net)
+    mpc_net = MPCCongestNetwork(
+        graph,
+        alpha=alpha,
+        seed=seed,
+        io_factor=io_factor,
+        on_round=mpc_events.append,
+    )
+    mpc_result = solver(network=mpc_net)
+
+    if mpc_result.cover != ref_result.cover:
+        raise ParityError(
+            f"MPC and engine-v2 solutions differ: "
+            f"{sorted(map(repr, mpc_result.cover))[:5]}... vs "
+            f"{sorted(map(repr, ref_result.cover))[:5]}..."
+        )
+    if mpc_result.stats != ref_result.stats:
+        raise ParityError(
+            f"MPC and engine-v2 RunStats differ: {mpc_result.stats} vs "
+            f"{ref_result.stats}"
+        )
+    if len(mpc_events) != len(ref_events):
+        raise ParityError(
+            f"round event streams differ in length: {len(mpc_events)} MPC "
+            f"rounds vs {len(ref_events)} engine-v2 rounds"
+        )
+    for mpc_event, ref_event in zip(mpc_events, ref_events):
+        if _event_key(mpc_event) != _event_key(ref_event):
+            raise ParityError(
+                f"per-round metering diverged at round "
+                f"{ref_event.round_index}: MPC {_event_key(mpc_event)} vs "
+                f"engine v2 {_event_key(ref_event)}"
+            )
+    report = {
+        "parity": True,
+        "rounds_compared": len(ref_events),
+        "congest_words": ref_result.stats.total_words,
+    }
+    return mpc_result, mpc_net, report
+
+
+def run_stage_parity(
+    graph: nx.Graph,
+    stages: Iterable[AlgorithmFactory],
+    alpha: float,
+    seed: int = 0,
+    prepare: Callable[[CongestNetwork], None] | None = None,
+    io_factor: float = 8.0,
+) -> dict[str, Any]:
+    """Stage-level parity check for bare ``NodeAlgorithm`` factories.
+
+    Runs each factory back to back on an MPC network and an engine-v2
+    network (same graph, same seed), with ``prepare(network)`` seeding any
+    required per-node state on each side first.  Asserts per-stage outputs,
+    stats and traces are identical; returns a summary dict (stage count,
+    rounds, the MPC ledger).
+    """
+    stages = list(stages)
+    ref_net = CongestNetwork(graph, seed=seed, engine="v2")
+    mpc_net = MPCCongestNetwork(
+        graph, alpha=alpha, seed=seed, io_factor=io_factor
+    )
+    for net in (ref_net, mpc_net):
+        net.reset_state()
+        if prepare is not None:
+            prepare(net)
+    rounds = 0
+    for index, factory in enumerate(stages):
+        ref = ref_net.run(factory, trace=True)
+        mpc = mpc_net.run(factory, trace=True)
+        for field in ("outputs", "by_id", "stats", "trace"):
+            if getattr(ref, field) != getattr(mpc, field):
+                raise ParityError(
+                    f"stage {index} field {field!r} differs between the "
+                    f"MPC compilation and engine v2"
+                )
+        rounds += ref.stats.rounds
+    return {
+        "parity": True,
+        "stages": len(stages),
+        "congest_rounds": rounds,
+        "mpc": mpc_net.mpc_summary(),
+    }
+
+
+def _solve_on_mpc(
+    solver: Callable[..., Any],
+    graph: nx.Graph,
+    alpha: float,
+    seed: int,
+    check_parity: bool,
+    io_factor: float,
+):
+    """Shared scaffolding of the compiled solver entry points.
+
+    Runs ``solver(network=...)`` on a fresh MPC network — with the live
+    engine-v2 shadow when ``check_parity`` — and returns the result
+    together with the machine-side ledger payload (including the parity
+    report when one was produced).
+    """
+    if check_parity:
+        result, net, report = solve_with_parity(
+            solver, graph, alpha=alpha, seed=seed, io_factor=io_factor
+        )
+    else:
+        net = MPCCongestNetwork(
+            graph, alpha=alpha, seed=seed, io_factor=io_factor
+        )
+        result = solver(network=net)
+        report = {"parity": False}
+    payload = net.mpc_summary()
+    payload.update(report)
+    return result, payload
+
+
+def solve_mvc_mpc(
+    graph: nx.Graph,
+    epsilon: float,
+    alpha: float,
+    seed: int = 0,
+    check_parity: bool = False,
+    io_factor: float = 8.0,
+):
+    """Algorithm 1 ((1+eps)-MVC of G^2) compiled onto the MPC backend.
+
+    Returns ``(DistributedCoverResult, mpc_payload)`` where the payload is
+    the machine-side ledger (plus the parity report when requested).
+    """
+    from repro.core.mvc_congest import approx_mvc_square
+
+    def solver(network):
+        return approx_mvc_square(graph, epsilon, network=network)
+
+    return _solve_on_mpc(solver, graph, alpha, seed, check_parity, io_factor)
+
+
+def solve_mds_mpc(
+    graph: nx.Graph,
+    alpha: float,
+    seed: int = 0,
+    samples: int | None = None,
+    check_parity: bool = False,
+    io_factor: float = 8.0,
+):
+    """Theorem 28 (O(log Delta)-MDS of G^2) compiled onto the MPC backend."""
+    from repro.core.mds_congest import approx_mds_square
+
+    def solver(network):
+        return approx_mds_square(graph, network=network, samples=samples)
+
+    return _solve_on_mpc(solver, graph, alpha, seed, check_parity, io_factor)

@@ -1,0 +1,268 @@
+"""Synchronous shuffle rounds for the low-space MPC simulator.
+
+:class:`MPCRuntime` is the machine-level analogue of the CONGEST engines:
+it executes :class:`~repro.mpc.machine.MachineProgram` instances in
+synchronous rounds, where each round's messages cross one global
+**shuffle**.  The shuffle is the metered object: per round it accounts
+every message's words (one envelope word plus the payload's
+:func:`~repro.congest.message.payload_words` cost), tracks each machine's
+sent and received load, folds the maxima into
+:class:`MPCRunStats` (the ``RunStats``-style aggregate, including the
+``__add__``-with-matching-word-size contract), and enforces the model's
+O(S) per-round I/O bound against every machine's
+``io_budget_words`` — a violation raises
+:class:`~repro.mpc.machine.MemoryBudgetExceeded` naming the machine.
+
+The CONGEST round-compiler (:mod:`repro.mpc.compile_congest`) drives the
+shuffle directly — one CONGEST round per shuffle — while native MPC
+workloads (:mod:`repro.mpc.matching`) run whole programs through
+:meth:`MPCRuntime.run`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.congest.errors import RoundLimitError
+from repro.congest.message import payload_words
+from repro.mpc.machine import Machine, MachineProgram, MemoryBudgetExceeded
+
+#: Routing-header words charged per shuffled message on top of its payload.
+ENVELOPE_WORDS = 1
+
+#: Default cap on simulated shuffle rounds for :meth:`MPCRuntime.run`.
+DEFAULT_MAX_ROUNDS = 10_000
+
+
+@dataclass
+class MPCRunStats:
+    """Aggregated shuffle usage of one (or several, summed) MPC runs.
+
+    ``max_in_words`` / ``max_out_words`` are the worst single-machine
+    receive/send loads over any one round — the "max machine load" of the
+    model's O(S) I/O bound.  Mirrors
+    :class:`~repro.congest.network.RunStats`: addition refuses to mix word
+    sizes because word counts are not commensurable across them.
+    """
+
+    rounds: int = 0
+    messages: int = 0
+    total_words: int = 0
+    max_in_words: int = 0
+    max_out_words: int = 0
+    word_bits: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        return self.total_words * self.word_bits
+
+    def __add__(self, other: "MPCRunStats") -> "MPCRunStats":
+        if (
+            self.word_bits
+            and other.word_bits
+            and self.word_bits != other.word_bits
+        ):
+            raise ValueError(
+                f"cannot add MPCRunStats with different word sizes "
+                f"({self.word_bits} vs {other.word_bits} bits); convert to "
+                f"bits before aggregating across runtimes"
+            )
+        return MPCRunStats(
+            rounds=self.rounds + other.rounds,
+            messages=self.messages + other.messages,
+            total_words=self.total_words + other.total_words,
+            max_in_words=max(self.max_in_words, other.max_in_words),
+            max_out_words=max(self.max_out_words, other.max_out_words),
+            word_bits=self.word_bits or other.word_bits,
+        )
+
+    def to_json(self) -> dict[str, int]:
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "total_words": self.total_words,
+            "max_in_words": self.max_in_words,
+            "max_out_words": self.max_out_words,
+            "word_bits": self.word_bits,
+        }
+
+
+@dataclass
+class ShuffleRecord:
+    """Per-shuffle traffic: the MPC analogue of a trace ``RoundRecord``."""
+
+    round_index: int
+    messages: int
+    words: int
+    max_in_words: int
+    max_out_words: int
+    active_machines: int
+
+
+@dataclass
+class MPCRunResult:
+    """Outputs and shuffle usage of one completed program run."""
+
+    outputs: dict[int, Any]
+    stats: MPCRunStats
+    trace: list[ShuffleRecord] = field(default_factory=list)
+
+
+class MPCRuntime:
+    """Executes shuffle rounds over a fixed set of machines.
+
+    Statistics accumulate over the runtime's lifetime (``stats``,
+    ``trace``), so a multi-stage computation — e.g. the CONGEST compiler
+    running several solver stages on one network — reports totals the same
+    way :func:`~repro.congest.network.run_stages` sums ``RunStats``.
+    """
+
+    def __init__(self, machines: Sequence[Machine], word_bits: int) -> None:
+        if not machines:
+            raise ValueError("runtime needs at least one machine")
+        if word_bits < 1:
+            raise ValueError("word_bits must be positive")
+        self.machines = list(machines)
+        self.word_bits = word_bits
+        self.stats = MPCRunStats(word_bits=word_bits)
+        self.trace: list[ShuffleRecord] = []
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    # -- the shuffle -------------------------------------------------------
+
+    def shuffle(
+        self,
+        outboxes: Sequence[Iterable[tuple[int, Any]] | None],
+        active: int | None = None,
+    ) -> list[list[tuple[int, Any]]]:
+        """Execute one metered shuffle round.
+
+        ``outboxes[mid]`` holds machine ``mid``'s ``(dest, payload)``
+        messages (or ``None``).  Returns ``inboxes`` where
+        ``inboxes[mid]`` lists ``(sender_mid, payload)`` pairs ordered by
+        sender machine, then send order — deterministic regardless of how
+        callers built their outboxes.  Word accounting and the per-machine
+        I/O budget check happen here; budget violations raise
+        :class:`MemoryBudgetExceeded` before any message is delivered.
+        """
+        m = self.num_machines
+        if len(outboxes) != m:
+            raise ValueError(
+                f"expected {m} outboxes, got {len(outboxes)}"
+            )
+        in_words = [0] * m
+        out_words = [0] * m
+        inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(m)]
+        messages = 0
+        words_total = 0
+        for sender, outbox in enumerate(outboxes):
+            if not outbox:
+                continue
+            for dest, payload in outbox:
+                if not isinstance(dest, int) or not 0 <= dest < m:
+                    raise ValueError(
+                        f"machine {sender} addressed invalid machine "
+                        f"{dest!r} (have {m} machines)"
+                    )
+                words = ENVELOPE_WORDS + payload_words(payload, self.word_bits)
+                out_words[sender] += words
+                in_words[dest] += words
+                messages += 1
+                words_total += words
+                inboxes[dest].append((sender, payload))
+        for mid, machine in enumerate(self.machines):
+            if out_words[mid] > machine.io_budget_words:
+                raise MemoryBudgetExceeded(
+                    f"machine {mid} sent {out_words[mid]} words in round "
+                    f"{self.stats.rounds + 1} but the per-round I/O budget "
+                    f"is {machine.io_budget_words} words (O(S) with "
+                    f"S={machine.budget_words})"
+                )
+            if in_words[mid] > machine.io_budget_words:
+                raise MemoryBudgetExceeded(
+                    f"machine {mid} received {in_words[mid]} words in round "
+                    f"{self.stats.rounds + 1} but the per-round I/O budget "
+                    f"is {machine.io_budget_words} words (O(S) with "
+                    f"S={machine.budget_words})"
+                )
+        max_in = max(in_words)
+        max_out = max(out_words)
+        stats = self.stats
+        stats.rounds += 1
+        stats.messages += messages
+        stats.total_words += words_total
+        stats.max_in_words = max(stats.max_in_words, max_in)
+        stats.max_out_words = max(stats.max_out_words, max_out)
+        self.trace.append(
+            ShuffleRecord(
+                round_index=stats.rounds,
+                messages=messages,
+                words=words_total,
+                max_in_words=max_in,
+                max_out_words=max_out,
+                active_machines=m if active is None else active,
+            )
+        )
+        return inboxes
+
+    # -- whole-program execution -------------------------------------------
+
+    def run(
+        self,
+        programs: Sequence[MachineProgram],
+        max_rounds: int | None = None,
+    ) -> MPCRunResult:
+        """Run one program per machine until all finish.
+
+        Mirrors the CONGEST reference engine's structure: ``on_start``
+        produces the first shuffle's messages, then every live program is
+        invoked each round with its delivered inbox; a program may return
+        a final outbox in the round it finishes (still delivered).  Raises
+        :class:`~repro.congest.errors.RoundLimitError` when the programs
+        do not terminate within ``max_rounds``.
+        """
+        if len(programs) != self.num_machines:
+            raise ValueError(
+                f"expected {self.num_machines} programs, got {len(programs)}"
+            )
+        if max_rounds is None:
+            max_rounds = DEFAULT_MAX_ROUNDS
+        trace_start = len(self.trace)
+        rounds_before = self.stats.rounds
+        outboxes: list[Any] = [prog.on_start() for prog in programs]
+        while not all(prog.done for prog in programs):
+            if self.stats.rounds - rounds_before >= max_rounds:
+                alive = sum(1 for prog in programs if not prog.done)
+                raise RoundLimitError(
+                    f"no termination within {max_rounds} shuffle rounds "
+                    f"({alive} machines alive)"
+                )
+            live = sum(1 for prog in programs if not prog.done)
+            inboxes = self.shuffle(outboxes, active=live)
+            outboxes = [None] * self.num_machines
+            for mid, prog in enumerate(programs):
+                if prog.done:
+                    continue
+                outboxes[mid] = prog.on_round(inboxes[mid])
+        run_trace = self.trace[trace_start:]
+        stats = MPCRunStats(word_bits=self.word_bits)
+        for record in run_trace:
+            stats.rounds += 1
+            stats.messages += record.messages
+            stats.total_words += record.words
+            stats.max_in_words = max(stats.max_in_words, record.max_in_words)
+            stats.max_out_words = max(
+                stats.max_out_words, record.max_out_words
+            )
+        return MPCRunResult(
+            outputs={
+                mid: prog.output for mid, prog in enumerate(programs)
+            },
+            stats=stats,
+            trace=run_trace,
+        )

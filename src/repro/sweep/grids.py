@@ -167,6 +167,117 @@ def solver_engines_grid(quick: bool = False) -> GridSpec:
     )
 
 
+def mpc_vs_congest_grid(quick: bool = False) -> GridSpec:
+    """Round-compilation parity sweep: CONGEST engine v2 vs the MPC backend.
+
+    For every (task, n) point one ``engine="v2"`` CONGEST cell is followed
+    by one MPC cell per alpha, all sharing the graph and seed.  The MPC
+    cells carry ``parity=True`` — each runs its own engine-v2 shadow and
+    asserts word-for-word metering parity in-process — and
+    ``bench_mpc.py`` additionally checks the *payloads* match across the
+    pairing (cover signature and every ``RunStats`` field), while reading
+    rounds and max machine load vs (alpha, n) out of the ``mpc`` ledger.
+    Per-point alpha lists start at the smallest budget the point's
+    workload fits (the max-degree vertex must fit in ``S = ceil(n^alpha)``
+    and the densest round's shuffle in ``O(S)``); anything below fails
+    with ``MemoryBudgetExceeded``, which ``bench_mpc.py`` demonstrates on
+    a dedicated probe cell rather than inside this grid.
+    """
+    points: list[
+        tuple[str, str, int, float | None, float, tuple[float, ...]]
+    ] = [
+        # (congest task, mpc task, n, eps, gnp_p, alphas)
+        ("mvc-congest", "mpc-mvc", 16, 0.5, 0.2, (0.8, 0.9, 1.0)),
+        ("mds-congest", "mpc-mds", 12, None, 0.25, (0.8, 0.9, 1.0)),
+    ]
+    if not quick:
+        points += [
+            ("mvc-congest", "mpc-mvc", 24, 0.5, 0.15, (0.7, 0.85, 1.0)),
+            ("mvc-congest", "mpc-mvc", 40, 0.5, 0.1, (0.7, 0.85, 1.0)),
+            ("mds-congest", "mpc-mds", 16, None, 0.2, (0.8, 0.9, 1.0)),
+        ]
+    cells = []
+    for congest_task, mpc_task, n, eps, p, alphas in points:
+        base = (("gnp_p", p),)
+        cells.append(
+            Cell(
+                task=congest_task,
+                graph="gnp",
+                n=n,
+                seed=n,
+                eps=eps,
+                engine="v2",
+                params=base,
+            )
+        )
+        for alpha in alphas:
+            cells.append(
+                Cell(
+                    task=mpc_task,
+                    graph="gnp",
+                    n=n,
+                    seed=n,
+                    eps=eps,
+                    params=base + (("alpha", alpha), ("parity", True)),
+                )
+            )
+    return GridSpec(
+        name="mpc-vs-congest-quick" if quick else "mpc-vs-congest",
+        cells=tuple(cells),
+    )
+
+
+def mpc_smoke_grid() -> GridSpec:
+    """Small all-MPC grid for CI smoke runs (seconds, not minutes)."""
+    cells = [
+        Cell(
+            task="mpc-mvc",
+            graph="gnp",
+            n=14,
+            seed=2,
+            eps=0.5,
+            params=(("alpha", 0.9),),
+        ),
+        Cell(
+            task="mpc-mvc",
+            graph="tree",
+            n=12,
+            seed=3,
+            eps=0.5,
+            params=(("alpha", 0.85),),
+        ),
+        Cell(
+            task="mpc-mds",
+            graph="gnp",
+            n=12,
+            seed=5,
+            params=(("alpha", 0.9),),
+        ),
+        Cell(
+            task="mpc-matching",
+            graph="gnp",
+            n=24,
+            seed=7,
+            params=(("alpha", 0.8),),
+        ),
+        Cell(
+            task="mpc-matching",
+            graph="path",
+            n=32,
+            seed=1,
+            params=(("alpha", 0.6),),
+        ),
+        Cell(
+            task="mpc-parity",
+            graph="gnp",
+            n=16,
+            seed=4,
+            params=(("alpha", 0.9), ("gnp_p", 0.2)),
+        ),
+    ]
+    return GridSpec(name="mpc-smoke", cells=tuple(cells))
+
+
 def smoke_grid() -> GridSpec:
     """Small mixed grid for CI smoke runs (seconds, not minutes)."""
     cells = [
@@ -225,6 +336,9 @@ NAMED_GRIDS = {
     "solver-engines-quick": lambda: solver_engines_grid(quick=True),
     "smoke": smoke_grid,
     "parallel-bench": parallel_bench_grid,
+    "mpc-smoke": mpc_smoke_grid,
+    "mpc-vs-congest": mpc_vs_congest_grid,
+    "mpc-vs-congest-quick": lambda: mpc_vs_congest_grid(quick=True),
 }
 
 

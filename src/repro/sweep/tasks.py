@@ -290,6 +290,153 @@ def _mds_estimator(cell: Cell) -> dict[str, Any]:
     }
 
 
+# -- low-space MPC backend tasks ------------------------------------------
+
+
+@register_task("mpc-mvc", graph_cache=True)
+def _mpc_mvc(cell: Cell) -> dict[str, Any]:
+    """Algorithm 1 compiled onto the MPC backend (one shuffle per round).
+
+    With ``params=(("parity", True),)`` the cell also runs an engine-v2
+    shadow and asserts word-for-word metering parity (outputs, RunStats,
+    per-round event stream).  The congest-level ``stats`` payload is
+    byte-identical to the ``mvc-congest`` task's on the same cell
+    coordinates — that equality is what ``bench_mpc.py`` checks.
+    """
+    from repro.graphs.power import square
+    from repro.graphs.validation import assert_vertex_cover
+    from repro.mpc.compile_congest import solve_mvc_mpc
+
+    eps = 0.5 if cell.eps is None else cell.eps
+    alpha = float(cell.param("alpha", 0.8))
+    graph = _cell_graph(cell)
+    result, mpc = solve_mvc_mpc(
+        graph,
+        eps,
+        alpha=alpha,
+        seed=cell.seed,
+        check_parity=bool(cell.param("parity", False)),
+    )
+    assert_vertex_cover(square(graph), result.cover)
+    return {
+        "cover_size": len(result.cover),
+        "stats": stats_to_json(result.stats),
+        "signature": signature_of(result.cover),
+        "mpc": mpc,
+    }
+
+
+@register_task("mpc-mds", graph_cache=True)
+def _mpc_mds(cell: Cell) -> dict[str, Any]:
+    """Theorem 28 MDS compiled onto the MPC backend (see ``mpc-mvc``)."""
+    from repro.graphs.power import square
+    from repro.graphs.validation import assert_dominating_set
+    from repro.mpc.compile_congest import solve_mds_mpc
+
+    alpha = float(cell.param("alpha", 0.8))
+    graph = _cell_graph(cell)
+    result, mpc = solve_mds_mpc(
+        graph,
+        alpha=alpha,
+        seed=cell.seed,
+        check_parity=bool(cell.param("parity", False)),
+    )
+    assert_dominating_set(square(graph), result.cover)
+    return {
+        "cover_size": len(result.cover),
+        "phases": result.detail["phases"],
+        "stats": stats_to_json(result.stats),
+        "signature": signature_of(result.cover),
+        "mpc": mpc,
+    }
+
+
+@register_task("mpc-matching", graph_cache=True)
+def _mpc_matching(cell: Cell) -> dict[str, Any]:
+    """Native MPC greedy maximal matching, oracle-verified.
+
+    The cell fails (captured by the runner) unless the output is a valid
+    maximal matching within the 2-approximation band of the centralized
+    greedy oracle.
+    """
+    from repro.exact.matching import deterministic_maximal_matching
+    from repro.mpc.matching import (
+        assert_maximal_matching,
+        mpc_maximal_matching,
+    )
+
+    alpha = float(cell.param("alpha", 0.8))
+    graph = _cell_graph(cell)
+    result = mpc_maximal_matching(graph, alpha=alpha, seed=cell.seed)
+    assert_maximal_matching(graph, result.matching)
+    oracle = deterministic_maximal_matching(graph)
+    if oracle and not (
+        len(oracle) / 2 <= len(result.matching) <= 2 * len(oracle)
+    ):
+        raise AssertionError(
+            f"matching size {len(result.matching)} outside the maximal band "
+            f"[{len(oracle) / 2:g}, {2 * len(oracle)}] of the oracle"
+        )
+    return {
+        "matching_size": len(result.matching),
+        "oracle_size": len(oracle),
+        "phases": result.phases,
+        "signature": signature_of(
+            tuple(sorted(tuple(sorted(map(repr, e))) for e in result.matching))
+        ),
+        "mpc": result.summary(),
+    }
+
+
+@register_task("mpc-parity", graph_cache=True)
+def _mpc_parity(cell: Cell) -> dict[str, Any]:
+    """Round-compilation trust-but-check: stage parity plus matching.
+
+    Runs the Phase I MVC protocol and the Lemma 29 estimator as bare
+    stages on the MPC runtime against an engine-v2 shadow (outputs, stats
+    and full traces must be identical), then the native matching with its
+    maximality oracle.  The CLI ``verify --model mpc`` fans these cells
+    out over seeds.
+    """
+    from repro.core.estimation import EstimationStage
+    from repro.core.mvc_congest import PhaseOneAlgorithm
+    from repro.exact.matching import deterministic_maximal_matching
+    from repro.mpc.compile_congest import run_stage_parity
+    from repro.mpc.matching import (
+        assert_maximal_matching,
+        mpc_maximal_matching,
+    )
+
+    alpha = float(cell.param("alpha", 0.9))
+    graph = _cell_graph(cell)
+
+    def prepare(network: CongestNetwork) -> None:
+        for node_id in network.ids():
+            network.node_state[node_id]["in_U"] = True
+
+    report = run_stage_parity(
+        graph,
+        [
+            lambda view: PhaseOneAlgorithm(view, threshold=2, iterations=4),
+            lambda view: EstimationStage(view, samples=6),
+        ],
+        alpha=alpha,
+        seed=cell.seed,
+        prepare=prepare,
+    )
+    matching = mpc_maximal_matching(graph, alpha=alpha, seed=cell.seed)
+    assert_maximal_matching(graph, matching.matching)
+    oracle = deterministic_maximal_matching(graph)
+    return {
+        "ok": True,
+        "stages": report["stages"],
+        "congest_rounds": report["congest_rounds"],
+        "matching_size": len(matching.matching),
+        "oracle_size": len(oracle),
+        "mpc": report["mpc"],
+    }
+
+
 # -- engine-scaling primitives (sparse-activity workloads) ----------------
 
 

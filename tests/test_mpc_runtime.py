@@ -1,0 +1,201 @@
+"""Unit tests for the MPC machine/partition/runtime layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.errors import RoundLimitError
+from repro.graphs.generators import build_graph, path_graph, star_graph
+from repro.mpc.machine import (
+    Machine,
+    MachineProgram,
+    MemoryBudgetExceeded,
+    memory_budget,
+)
+from repro.mpc.partition import (
+    balanced_assignment,
+    canonical_ids,
+    partition_edges,
+    partition_vertices,
+)
+from repro.mpc.runtime import ENVELOPE_WORDS, MPCRunStats, MPCRuntime
+
+
+class TestMemoryBudget:
+    def test_ceil_of_power(self):
+        assert memory_budget(100, 0.5) == 10
+        assert memory_budget(100, 1.0) == 100
+        assert memory_budget(7, 0.5) == 3  # ceil(2.64...)
+
+    def test_at_least_one_word(self):
+        assert memory_budget(1, 0.5) == 1
+
+    def test_alpha_range_enforced(self):
+        with pytest.raises(ValueError):
+            memory_budget(10, 0.0)
+        with pytest.raises(ValueError):
+            memory_budget(10, 2.5)
+
+    def test_near_linear_regime_allowed(self):
+        # alpha in (1, 2] is the debug regime: S = n^2 holds any graph.
+        assert memory_budget(10, 2.0) == 100
+
+
+class TestMachine:
+    def test_charge_within_budget(self):
+        machine = Machine(0, budget_words=10)
+        machine.charge(6)
+        machine.charge(4)
+        assert machine.stored_words == 10
+
+    def test_charge_overflow_raises_with_context(self):
+        machine = Machine(3, budget_words=5)
+        with pytest.raises(MemoryBudgetExceeded, match=r"machine 3 .* 6 words"):
+            machine.charge(6, what="edge partition")
+
+    def test_release_never_goes_negative(self):
+        machine = Machine(0, budget_words=5)
+        machine.charge(3)
+        machine.release(10)
+        assert machine.stored_words == 0
+
+    def test_io_budget_scales_with_factor(self):
+        assert Machine(0, 10, io_factor=8.0).io_budget_words == 80
+        assert Machine(0, 10, io_factor=1.0).io_budget_words == 10
+
+
+class TestBalancedAssignment:
+    def test_loads_respect_budget(self):
+        weights = [5, 3, 3, 2, 2, 2, 1, 1]
+        assignment = balanced_assignment(weights, budget_words=6, seed=1)
+        assert max(assignment.loads) <= 6
+        assert sum(assignment.loads) == sum(weights)
+
+    def test_single_oversized_item_raises(self):
+        with pytest.raises(MemoryBudgetExceeded, match="no partition"):
+            balanced_assignment([2, 9, 1], budget_words=8, seed=0)
+
+    def test_deterministic_per_seed(self):
+        weights = [3, 1, 2, 2, 1, 3, 1]
+        a = balanced_assignment(weights, budget_words=5, seed=7)
+        b = balanced_assignment(weights, budget_words=5, seed=7)
+        assert a.machine_of == b.machine_of
+        assert a.digest() == b.digest()
+
+    def test_empty_input_is_one_idle_machine(self):
+        assignment = balanced_assignment([], budget_words=4, seed=0)
+        assert assignment.num_machines == 1
+        assert assignment.machine_of == ()
+
+
+class TestGraphPartitions:
+    def test_vertex_weights_are_adjacency_sizes(self):
+        graph = star_graph(8)  # one hub of degree 7
+        budget = 10
+        assignment = partition_vertices(graph, budget, seed=0)
+        _, id_of = canonical_ids(graph)
+        hub = max(id_of.values(), key=lambda i: len(list(graph.edges)))
+        assert max(assignment.loads) <= budget
+        # hub weighs 1 + 7 = 8 words; leaves 1 + 1 = 2.
+        assert sum(assignment.loads) == 8 + 7 * 2
+
+    def test_high_degree_vertex_fails_small_budget(self):
+        with pytest.raises(MemoryBudgetExceeded):
+            partition_vertices(star_graph(20), budget_words=5, seed=0)
+
+    def test_edges_cover_every_edge_once(self):
+        graph = build_graph("gnp", 24, seed=3)
+        edges, assignment = partition_edges(graph, budget_words=8, seed=3)
+        assert len(edges) == graph.number_of_edges()
+        assert len(assignment.machine_of) == len(edges)
+        assert max(assignment.loads) <= 8
+
+
+class _Echo(MachineProgram):
+    """Sends one payload to machine 0 at start, finishes on any round."""
+
+    def __init__(self, machine, payload):
+        super().__init__(machine)
+        self.payload = payload
+
+    def on_start(self):
+        if self.machine.machine_id != 0:
+            return [(0, self.payload)]
+        return None
+
+    def on_round(self, inbox):
+        self.finish(sorted(inbox))
+        return None
+
+
+class TestRuntime:
+    def test_shuffle_word_accounting(self):
+        machines = [Machine(i, 100) for i in range(3)]
+        runtime = MPCRuntime(machines, word_bits=5)
+        inboxes = runtime.shuffle(
+            [[(1, 7)], [(2, (1, 2, 3))], None]
+        )
+        # message 0->1: envelope + one small int = 2 words;
+        # message 1->2: envelope + three small ints = 4 words.
+        assert runtime.stats.messages == 2
+        assert runtime.stats.total_words == (ENVELOPE_WORDS + 1) + (
+            ENVELOPE_WORDS + 3
+        )
+        assert runtime.stats.max_in_words == ENVELOPE_WORDS + 3
+        assert runtime.stats.max_out_words == ENVELOPE_WORDS + 3
+        assert inboxes[1] == [(0, 7)]
+        assert inboxes[2] == [(1, (1, 2, 3))]
+
+    def test_shuffle_receive_budget_enforced(self):
+        machines = [Machine(0, 100), Machine(1, 2, io_factor=1.0)]
+        runtime = MPCRuntime(machines, word_bits=5)
+        with pytest.raises(MemoryBudgetExceeded, match="received"):
+            runtime.shuffle([[(1, (1, 2, 3, 4))], None])
+
+    def test_shuffle_send_budget_enforced(self):
+        machines = [Machine(i, 2, io_factor=1.0) for i in range(3)]
+        runtime = MPCRuntime(machines, word_bits=5)
+        with pytest.raises(MemoryBudgetExceeded, match="sent"):
+            runtime.shuffle([[(1, 1), (2, 1)], None, None])
+
+    def test_budget_violation_delivers_nothing(self):
+        machines = [Machine(i, 2, io_factor=1.0) for i in range(2)]
+        runtime = MPCRuntime(machines, word_bits=5)
+        with pytest.raises(MemoryBudgetExceeded):
+            runtime.shuffle([[(1, (1, 2, 3, 4))], None])
+        assert runtime.stats.messages == 0
+        assert runtime.stats.rounds == 0
+
+    def test_invalid_destination_rejected(self):
+        runtime = MPCRuntime([Machine(0, 10)], word_bits=4)
+        with pytest.raises(ValueError, match="invalid machine"):
+            runtime.shuffle([[(3, 1)]])
+
+    def test_program_run_collects_outputs(self):
+        machines = [Machine(i, 100) for i in range(3)]
+        runtime = MPCRuntime(machines, word_bits=5)
+        programs = [_Echo(m, m.machine_id * 10) for m in machines]
+        result = runtime.run(programs)
+        # machine 0 hears from 1 and 2 in its first round.
+        assert result.outputs[0] == [(1, 10), (2, 20)]
+        assert result.stats.rounds >= 1
+        assert result.trace[0].round_index == 1
+
+    def test_round_limit(self):
+        class Spinner(MachineProgram):
+            def on_round(self, inbox):
+                return [(0, 1)] if self.machine.machine_id else None
+
+        machines = [Machine(i, 100) for i in range(2)]
+        runtime = MPCRuntime(machines, word_bits=4)
+        with pytest.raises(RoundLimitError):
+            runtime.run([Spinner(m) for m in machines], max_rounds=5)
+
+    def test_stats_addition_word_size_guard(self):
+        a = MPCRunStats(rounds=1, total_words=5, word_bits=4)
+        b = MPCRunStats(rounds=2, total_words=7, word_bits=4)
+        combined = a + b
+        assert combined.rounds == 3
+        assert combined.total_words == 12
+        with pytest.raises(ValueError, match="word sizes"):
+            a + MPCRunStats(word_bits=6)
