@@ -1,9 +1,9 @@
 """MPC backend benchmark: round-compilation parity and machine-load scaling.
 
-Three claims of the ``repro.mpc`` subsystem, measured on the
-``mpc-vs-congest`` grid (see :func:`repro.sweep.grids.mpc_vs_congest_grid`
-— every MPC cell already self-checks against a live engine-v2 shadow via
-``parity=True``):
+Four claims of the ``repro.mpc`` subsystem, measured on the
+``mpc-vs-congest`` and ``mpc-compression`` grids (see
+:mod:`repro.sweep.grids` — every MPC cell already self-checks against a
+live engine-v2 shadow via ``parity=True``):
 
 * **parity** — for every (task, n) point the MPC cells' cover signature
   and every congest-level ``RunStats`` field equal the adjacent
@@ -13,6 +13,10 @@ Three claims of the ``repro.mpc`` subsystem, measured on the
 * **scaling** — smaller alpha means a smaller budget ``S = ceil(n^alpha)``,
   more machines and higher shuffle traffic, while the max per-machine
   load stays within the O(S) I/O budget (``io_factor * S``);
+* **compression** — batching ``k`` CONGEST rounds behind one prefetch
+  shuffle (``compress=k``) strictly lowers the shuffle count as ``k``
+  grows on every grid point, with the CONGEST-level payload unchanged
+  across ``k`` (shuffle-count-vs-k curves land in ``BENCH_mpc.json``);
 * **budget enforcement** — a dedicated probe cell with a too-small alpha
   fails as a captured ``MemoryBudgetExceeded`` sweep error, not a crash.
 
@@ -26,8 +30,9 @@ Usage::
         [--check]
 
 ``--check`` exits nonzero unless parity holds on every point, the probe
-cell fails with ``MemoryBudgetExceeded``, and machine counts strictly
-increase as alpha decreases on every (task, n) point.
+cell fails with ``MemoryBudgetExceeded``, machine counts strictly
+increase as alpha decreases on every (task, n) point, and shuffle counts
+strictly decrease as ``k`` grows on every compression point.
 """
 
 from __future__ import annotations
@@ -43,7 +48,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 from _common import print_table
 
 from repro.sweep import Cell, GridSpec, run_sweep
-from repro.sweep.grids import mpc_vs_congest_grid
+from repro.sweep.grids import mpc_compression_grid, mpc_vs_congest_grid
 
 #: The deliberately infeasible probe: S = ceil(24^0.3) = 3 words cannot
 #: hold any vertex of the n=24 workload together with its adjacency.
@@ -151,6 +156,78 @@ def run_compile_bench(quick: bool, repeats: int):
     return rows, points
 
 
+def run_compression_bench(quick: bool):
+    """Shuffle-count-vs-k curves off the ``mpc-compression`` grid.
+
+    Cells at one (task, n, alpha) point differ only in the ``compress``
+    window; each runs its own engine-v2 shadow, and the CONGEST-level
+    payload (cover signature, every ``RunStats`` field) must additionally
+    be byte-identical *across* the k-axis — compression may only move the
+    MPC ledger.
+    """
+    grid = mpc_compression_grid(quick=quick)
+    sweep = run_sweep(grid, jobs=1)
+    sweep.ok_payloads()
+
+    by_point: dict[tuple[str, int, float], list] = {}
+    for result in sweep:
+        cell = result.cell
+        key = (cell.task, cell.n, cell.param("alpha"))
+        by_point.setdefault(key, []).append(
+            (int(cell.param("compress", 1)), result)
+        )
+
+    rows = []
+    points = []
+    for (task, n, alpha), runs in sorted(by_point.items()):
+        runs.sort()
+        baseline = runs[0][1].payload
+        for k, result in runs:
+            payload = result.payload
+            for key in ("signature", "stats", "cover_size"):
+                if payload[key] != baseline[key]:
+                    raise AssertionError(
+                        f"compression changed the CONGEST ledger on {task} "
+                        f"n={n} alpha={alpha} k={k}: {key} differs"
+                    )
+            if not payload["mpc"]["parity"]:
+                raise AssertionError(
+                    f"{task} n={n} alpha={alpha} k={k}: cell ran without "
+                    f"its engine-v2 shadow check"
+                )
+            shuffle = payload["mpc"]["shuffle"]
+            congest_rounds = shuffle["congest_rounds"]
+            shuffles = shuffle["shuffles"]
+            points.append(
+                {
+                    "task": task,
+                    "n": n,
+                    "alpha": alpha,
+                    "k": k,
+                    "shuffles": shuffles,
+                    "congest_rounds": congest_rounds,
+                    "rounds_per_shuffle": congest_rounds / shuffles,
+                    "shuffle_words": shuffle["total_words"],
+                    "max_machine_load": shuffle["max_in_words"],
+                    "seconds": result.seconds,
+                }
+            )
+            rows.append(
+                (
+                    task,
+                    n,
+                    alpha,
+                    k,
+                    shuffles,
+                    congest_rounds,
+                    congest_rounds / shuffles,
+                    shuffle["total_words"],
+                    shuffle["max_in_words"],
+                )
+            )
+    return rows, points
+
+
 def run_matching_bench(quick: bool):
     sweep = run_sweep(matching_grid(quick), jobs=1)
     sweep.ok_payloads()
@@ -235,6 +312,17 @@ def main(argv=None) -> int:
     print("\nparity: signature + RunStats identical to engine v2 on every "
           "(task, n, alpha) cell")
 
+    comp_rows, comp_points = run_compression_bench(args.quick)
+    print()
+    print_table(
+        "Round compression: shuffles vs k (CONGEST ledger invariant)",
+        [
+            "task", "n", "alpha", "k", "shuffles",
+            "congest rds", "rds/shuffle", "shuffle wd", "max load",
+        ],
+        comp_rows,
+    )
+
     match_rows, match_points = run_matching_bench(args.quick)
     print_table(
         "Native MPC matching (oracle-verified maximal)",
@@ -258,6 +346,7 @@ def main(argv=None) -> int:
         else os.cpu_count(),
         "parity": True,
         "points": points,
+        "compression": comp_points,
         "matching": match_points,
         "budget_probe": probe,
     }
@@ -286,13 +375,28 @@ def main(argv=None) -> int:
                     f"{task} n={n}: machine counts {machine_counts} do not "
                     f"strictly decrease as alpha grows"
                 )
+        comp_by_point: dict[tuple[str, int, float], list[tuple[int, int]]] = {}
+        for p in comp_points:
+            comp_by_point.setdefault((p["task"], p["n"], p["alpha"]), []).append(
+                (p["k"], p["shuffles"])
+            )
+        for (task, n, alpha), pairs in sorted(comp_by_point.items()):
+            pairs.sort()
+            shuffle_counts = [shuffles for _, shuffles in pairs]
+            if not all(
+                a > b for a, b in zip(shuffle_counts, shuffle_counts[1:])
+            ):
+                failures.append(
+                    f"{task} n={n} alpha={alpha}: shuffle counts "
+                    f"{shuffle_counts} do not strictly decrease as k grows"
+                )
     for failure in failures:
         print(f"CHECK FAILED: {failure}")
     if failures:
         return 1
     if args.check:
-        print("check passed: parity, budget probe and machine scaling all "
-              "hold")
+        print("check passed: parity, budget probe, machine scaling and "
+              "shuffle compression all hold")
     return 0
 
 

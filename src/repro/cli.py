@@ -85,15 +85,42 @@ def _reject_engine_for_mpc(args: argparse.Namespace) -> bool:
 
 def _print_mpc_ledger(payload: dict) -> None:
     shuffle = payload["shuffle"]
-    print(
+    line = (
         f"mpc: machines={payload['machines']} S={payload['budget_words']} "
-        f"words (alpha={payload['alpha']:g})  shuffles={shuffle['rounds']} "
+        f"words (alpha={payload['alpha']:g})  shuffles={shuffle['shuffles']} "
         f"shuffle_words={shuffle['total_words']} "
         f"max_machine_load={shuffle['max_in_words']}"
     )
+    if payload.get("compress", 1) > 1:
+        line += (
+            f"  compression: {shuffle['congest_rounds']} CONGEST rounds in "
+            f"{shuffle['shuffles']} shuffles (-k {payload['compress']})"
+        )
+    print(line)
+
+
+def _check_compress(args: argparse.Namespace) -> int | None:
+    """Validate --compress/-k; returns an exit code on error, else None."""
+    if args.compress < 1:
+        print(
+            f"error: --compress must be >= 1, got {args.compress}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.compress > 1 and args.model != "mpc":
+        print(
+            "error: --compress batches CONGEST rounds per MPC shuffle; it "
+            "requires --model mpc",
+            file=sys.stderr,
+        )
+        return 2
+    return None
 
 
 def _cmd_mvc(args: argparse.Namespace) -> int:
+    code = _check_compress(args)
+    if code is not None:
+        return code
     graph = build_graph(args.graph, args.n, seed=args.seed)
     sq = square(graph)
     if args.model == "congest":
@@ -108,7 +135,7 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
 
         result, mpc_payload = solve_mvc_mpc(
             graph, args.eps, alpha=args.alpha, seed=args.seed,
-            check_parity=True,
+            check_parity=True, compress=args.compress,
         )
         cover, rounds = result.cover, result.stats.rounds
         _print_mpc_ledger(mpc_payload)
@@ -143,6 +170,9 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
 
 
 def _cmd_mds(args: argparse.Namespace) -> int:
+    code = _check_compress(args)
+    if code is not None:
+        return code
     graph = build_graph(args.graph, args.n, seed=args.seed)
     sq = square(graph)
     if args.model == "mpc":
@@ -151,7 +181,8 @@ def _cmd_mds(args: argparse.Namespace) -> int:
         from repro.mpc.compile_congest import solve_mds_mpc
 
         result, mpc_payload = solve_mds_mpc(
-            graph, alpha=args.alpha, seed=args.seed, check_parity=True
+            graph, alpha=args.alpha, seed=args.seed, check_parity=True,
+            compress=args.compress,
         )
         _print_mpc_ledger(mpc_payload)
     else:
@@ -198,23 +229,27 @@ def _verify_grid(family: str, k: int, samples: int) -> GridSpec:
     return GridSpec(name=f"verify-{family}", cells=cells)
 
 
-def _mpc_verify_grid(n: int, alpha: float, samples: int) -> GridSpec:
+def _mpc_verify_grid(
+    n: int, alpha: float, samples: int, compress: int = 1
+) -> GridSpec:
     """One round-compilation parity cell per sampled seed."""
+    params: tuple[tuple[str, object], ...] = (
+        ("alpha", alpha),
+        ("gnp_p", min(0.3, 4.0 / max(n, 2))),
+    )
+    if compress != 1:
+        params += (("compress", compress),)
     cells = tuple(
-        Cell(
-            task="mpc-parity",
-            graph="gnp",
-            n=n,
-            seed=seed,
-            params=(("alpha", alpha), ("gnp_p", min(0.3, 4.0 / max(n, 2)))),
-        )
+        Cell(task="mpc-parity", graph="gnp", n=n, seed=seed, params=params)
         for seed in range(samples)
     )
     return GridSpec(name="verify-mpc", cells=cells)
 
 
 def _cmd_verify_mpc(args: argparse.Namespace) -> int:
-    grid = _mpc_verify_grid(args.n, args.alpha, args.samples)
+    grid = _mpc_verify_grid(
+        args.n, args.alpha, args.samples, compress=args.compress
+    )
     sweep = run_sweep(grid, jobs=args.jobs)
     failures = 0
     for result in sweep:
@@ -235,6 +270,9 @@ def _cmd_verify_mpc(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    code = _check_compress(args)
+    if code is not None:
+        return code
     if args.model == "mpc":
         return _cmd_verify_mpc(args)
     grid = _verify_grid(args.family, args.k, args.samples)
@@ -262,14 +300,67 @@ def _parse_list(text: str, convert):
     return tuple(convert(part) for part in text.split(",") if part)
 
 
+def _parse_axis(text, flag, convert, type_name, valid, constraint):
+    """Parse one comma-separated sweep axis: convert, validate, dedupe.
+
+    A repeated axis value (``--alphas 0.8,0.8`` or ``0.8,0.80``) would
+    expand the grid twice over identical cells — every duplicated cell
+    re-runs and double-counts in the aggregate stats — so duplicates are
+    dropped while preserving first-occurrence order; values failing
+    ``valid`` are rejected up front with ``constraint`` as a parse error
+    instead of failing inside every cell.
+    """
+    values = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            value = convert(part)
+        except ValueError:
+            raise SystemExit(
+                f"{flag}: {part!r} is not {type_name}"
+            ) from None
+        if not valid(value):
+            raise SystemExit(f"{flag} values must be {constraint}, got {part}")
+        if value not in values:
+            values.append(value)
+    return tuple(values)
+
+
+def _parse_alphas(text: str) -> tuple[float, ...]:
+    """``--alphas``: positive floats (memory exponents), deduped, ordered."""
+    return _parse_axis(
+        text,
+        "--alphas",
+        float,
+        "a number",
+        lambda value: value > 0,
+        "positive memory exponents",
+    )
+
+
+def _parse_compress(text: str) -> tuple[int, ...]:
+    """``--compress`` for sweeps: ints >= 1, deduped, order kept."""
+    return _parse_axis(
+        text,
+        "--compress",
+        int,
+        "an integer",
+        lambda value: value >= 1,
+        ">= 1",
+    )
+
+
 def _sweep_grid_from_args(args: argparse.Namespace) -> GridSpec:
     if args.grid is not None:
         if args.task is not None:
             raise SystemExit("pass either --grid or --task, not both")
-        if args.model != "congest" or args.alphas:
+        if args.model != "congest" or args.alphas or args.compress:
             raise SystemExit(
-                "--model/--alphas apply to ad-hoc --task grids; named "
-                "grids fix their model and alphas per cell"
+                "--model/--alphas/--compress apply to ad-hoc --task grids; "
+                "named grids fix their model, alphas and compression per "
+                "cell"
             )
         return named_grid(args.grid)
     if args.task is None:
@@ -285,9 +376,14 @@ def _sweep_grid_from_args(args: argparse.Namespace) -> GridSpec:
     if args.alphas:
         if args.model != "mpc":
             raise SystemExit("--alphas requires --model mpc")
-        alphas = _parse_list(args.alphas, float)
+        alphas = _parse_alphas(args.alphas)
     elif args.model == "mpc":
         alphas = (0.8,)
+    compressions: tuple[int, ...] = (1,)
+    if args.compress:
+        if args.model != "mpc":
+            raise SystemExit("--compress requires --model mpc")
+        compressions = _parse_compress(args.compress) or (1,)
     engines: tuple[str | None, ...] = (None,)
     if args.engines:
         if args.model == "mpc":
@@ -299,24 +395,30 @@ def _sweep_grid_from_args(args: argparse.Namespace) -> GridSpec:
     epss: tuple[float | None, ...] = (None,)
     if args.epss:
         epss = _parse_list(args.epss, float)
-    # One expansion per alpha (an extra per-cell axis the cartesian helper
-    # does not know about); seeds derive from the non-alpha coordinates,
-    # so the same point at two alphas evaluates the same workload graph.
+    # One expansion per (alpha, compression) pair (extra per-cell axes the
+    # cartesian helper does not know about); seeds derive from the other
+    # coordinates, so the same point at two alphas or window lengths
+    # evaluates the same workload graph.
     cells = []
     for alpha in alphas or (None,):
-        params = (("alpha", alpha),) if alpha is not None else ()
-        expansion = expand_grid(
-            name=f"adhoc-{args.task}",
-            task=args.task,
-            graphs=_parse_list(args.graphs, str),
-            ns=_parse_list(args.ns, int),
-            epss=epss,
-            engines=engines,
-            replicates=args.replicates,
-            base_seed=args.base_seed,
-            params=params,
-        )
-        cells.extend(expansion.cells)
+        for compress in compressions:
+            params: tuple[tuple[str, object], ...] = ()
+            if alpha is not None:
+                params += (("alpha", alpha),)
+            if compress != 1:
+                params += (("compress", compress),)
+            expansion = expand_grid(
+                name=f"adhoc-{args.task}",
+                task=args.task,
+                graphs=_parse_list(args.graphs, str),
+                ns=_parse_list(args.ns, int),
+                epss=epss,
+                engines=engines,
+                replicates=args.replicates,
+                base_seed=args.base_seed,
+                params=params,
+            )
+            cells.extend(expansion.cells)
     grid = GridSpec(name=f"adhoc-{args.task}", cells=tuple(cells))
     if not grid.cells:
         # An empty axis (e.g. --ns "" from an unset shell variable) would
@@ -393,6 +495,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.8,
         help="mpc model only: per-machine memory exponent, S=ceil(n^alpha)",
     )
+    mvc.add_argument(
+        "--compress",
+        "-k",
+        type=int,
+        default=1,
+        help="mpc model only: batch up to k CONGEST rounds per shuffle "
+        "(adaptive; falls back to 1 where the k-hop frontier exceeds the "
+        "window budget)",
+    )
     mvc.add_argument("--exact", action="store_true")
     mvc.set_defaults(func=_cmd_mvc)
 
@@ -419,6 +530,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.8,
         help="mpc model only: per-machine memory exponent, S=ceil(n^alpha)",
+    )
+    mds.add_argument(
+        "--compress",
+        "-k",
+        type=int,
+        default=1,
+        help="mpc model only: batch up to k CONGEST rounds per shuffle "
+        "(adaptive; falls back to 1 where the k-hop frontier exceeds the "
+        "window budget)",
     )
     mds.add_argument("--exact", action="store_true")
     mds.set_defaults(func=_cmd_mds)
@@ -454,6 +574,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.9,
         help="mpc model only: per-machine memory exponent",
+    )
+    verify.add_argument(
+        "--compress",
+        type=int,
+        default=1,
+        help="mpc model only: batch up to k CONGEST rounds per shuffle in "
+        "the parity cells (no -k short form here; --k is the family size)",
     )
     verify.add_argument(
         "--jobs",
@@ -504,7 +631,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--alphas",
         default="",
         help="comma-separated memory exponents for --model mpc "
-        "(one grid expansion per alpha; default 0.8)",
+        "(one grid expansion per alpha; duplicates dropped, values must "
+        "be positive; default 0.8)",
+    )
+    sweep.add_argument(
+        "--compress",
+        "-k",
+        default="",
+        help="comma-separated shuffle-compression windows for --model mpc "
+        "(one grid expansion per k; duplicates dropped, values >= 1; "
+        "default 1)",
     )
     sweep.add_argument("--replicates", type=int, default=1)
     sweep.add_argument("--base-seed", type=int, default=0)

@@ -40,6 +40,36 @@ AlgorithmFactory = Callable[[NodeView], NodeAlgorithm]
 DEFAULT_ROUND_FACTOR = 20
 
 
+def combine_word_bits(left: Any, right: Any, what: str, across: str) -> int:
+    """Resolve the word size of ``left + right`` for stats aggregates.
+
+    Word counts measured in different word sizes are not commensurable —
+    silently taking the max would misreport ``total_bits`` for the
+    smaller-word side — so mixing two *populated* aggregates raises.  An
+    all-zero side (``is_empty()``) is exempt: it is an additive identity
+    whatever word size it was constructed with, so ``sum(...,
+    Stats())`` works over any homogeneous collection and adopts the
+    populated side's word size.  Shared by :class:`RunStats` and
+    :class:`repro.mpc.runtime.MPCRunStats`.
+    """
+    if (
+        left.word_bits
+        and right.word_bits
+        and left.word_bits != right.word_bits
+        and not (left.is_empty() or right.is_empty())
+    ):
+        raise ValueError(
+            f"cannot add {what} with different word sizes "
+            f"({left.word_bits} vs {right.word_bits} bits); convert to "
+            f"bits before aggregating across {across}"
+        )
+    if left.is_empty() and right.word_bits:
+        return right.word_bits
+    if right.is_empty() and left.word_bits:
+        return left.word_bits
+    return left.word_bits or right.word_bits
+
+
 @dataclass
 class RunStats:
     """Resource usage of one (or several, summed) simulator runs."""
@@ -59,20 +89,18 @@ class RunStats:
     def cut_bits(self) -> int:
         return self.cut_words * self.word_bits
 
+    def is_empty(self) -> bool:
+        """True when every counter is zero (word size aside)."""
+        return not (
+            self.rounds
+            or self.messages
+            or self.total_words
+            or self.max_words_per_edge_round
+            or self.cut_words
+        )
+
     def __add__(self, other: "RunStats") -> "RunStats":
-        if (
-            self.word_bits
-            and other.word_bits
-            and self.word_bits != other.word_bits
-        ):
-            # Silently taking the max would misreport total_bits for the
-            # smaller-word side; word counts from different word sizes are
-            # not commensurable.
-            raise ValueError(
-                f"cannot add RunStats with different word sizes "
-                f"({self.word_bits} vs {other.word_bits} bits); convert to "
-                f"bits before aggregating across networks"
-            )
+        word_bits = combine_word_bits(self, other, "RunStats", "networks")
         return RunStats(
             rounds=self.rounds + other.rounds,
             messages=self.messages + other.messages,
@@ -81,7 +109,7 @@ class RunStats:
                 self.max_words_per_edge_round, other.max_words_per_edge_round
             ),
             cut_words=self.cut_words + other.cut_words,
-            word_bits=self.word_bits or other.word_bits,
+            word_bits=word_bits,
         )
 
 

@@ -10,6 +10,24 @@ shuffle of :class:`~repro.mpc.runtime.MPCRuntime`: a message between
 co-hosted vertices stays machine-local, everything else becomes an
 ``(sender, target, payload)`` envelope to the target's host.
 
+With ``compress=k > 1`` the compiler additionally performs **round
+compression** — the "simulation with speedup" of the low-space MPC
+literature, made executable.  When per-machine memory allows, ``k``
+consecutive CONGEST rounds batch into *one* shuffle: each machine
+prefetches the ``k``-hop-relevant frontier for its hosted vertices
+(graph-exponentiation-style neighbor state — id plus adjacency per node
+within ``k - 1`` hops — plus every boundary message addressed into that
+neighborhood), then replays the ``k`` rounds locally with no further
+communication.  The window length is chosen *adaptively*: the largest
+``k' <= k`` whose prefetched frontier fits every machine's window budget
+(:meth:`~repro.mpc.machine.Machine.window_budget_words`, the O(S) bound
+with the explicit ``io_factor`` constant), falling back to the classical
+``k' = 1`` compilation rather than raising.  Compression changes only
+the MPC ledger — ``MPCRunStats.shuffles`` drops below
+``MPCRunStats.congest_rounds`` — never the CONGEST ledger: outputs,
+``RunStats``, traces and the per-round event stream stay word-for-word
+identical to engine v2 at every ``k`` (the parity harness asserts it).
+
 Two ledgers are kept at once, and that is the point:
 
 * the **CONGEST ledger** — the inherited
@@ -39,6 +57,7 @@ from typing import Any
 import networkx as nx
 
 from repro.congest.errors import RoundLimitError
+from repro.congest.message import payload_words
 from repro.congest.network import (
     DEFAULT_ROUND_FACTOR,
     AlgorithmFactory,
@@ -50,7 +69,7 @@ from repro.congest.network import (
 )
 from repro.mpc.machine import Machine, memory_budget
 from repro.mpc.partition import partition_vertices
-from repro.mpc.runtime import MPCRuntime
+from repro.mpc.runtime import ENVELOPE_WORDS, MPCRuntime
 
 
 class ParityError(AssertionError):
@@ -79,6 +98,7 @@ class MPCCongestNetwork(CongestNetwork):
         cut: Iterable[tuple[Any, Any]] | None = None,
         io_factor: float = 8.0,
         on_round: Callable[[RoundEvent], None] | None = None,
+        compress: int = 1,
     ) -> None:
         # The base class insists on building an engine; pin "v1" so the
         # construction never depends on REPRO_ENGINE.  It is never used —
@@ -92,7 +112,10 @@ class MPCCongestNetwork(CongestNetwork):
             engine="v1",
             on_round=on_round,
         )
+        if compress < 1:
+            raise ValueError(f"compress must be >= 1, got {compress!r}")
         self.alpha = alpha
+        self.compress = int(compress)
         self.budget_words = memory_budget(self.n, alpha)
         self.assignment = partition_vertices(graph, self.budget_words, seed=seed)
         self._host = self.assignment.machine_of
@@ -106,6 +129,14 @@ class MPCCongestNetwork(CongestNetwork):
                 what=f"vertex {self.label_of(node_id)!r} and its adjacency",
             )
         self.runtime = MPCRuntime(self.machines, self.word_bits)
+        # Frontier tables for round compression, built lazily on the first
+        # compressed window (all graph-static, so one build serves every
+        # run on this network).
+        self._hop_dist: list[dict[int, int]] | None = None
+        self._state_payloads: list[tuple[int, ...]] | None = None
+        self._state_costs: list[int] | None = None
+        self._watchers: dict[int, list[tuple[int, ...]]] = {}
+        self._state_loads: dict[int, tuple[list[int], list[int]]] = {}
 
     @property
     def engine_name(self) -> str:
@@ -124,6 +155,7 @@ class MPCCongestNetwork(CongestNetwork):
         return {
             "model": "mpc",
             "alpha": self.alpha,
+            "compress": self.compress,
             "budget_words": self.budget_words,
             "machines": self.num_machines,
             "partition_digest": self.partition_digest(),
@@ -140,14 +172,18 @@ class MPCCongestNetwork(CongestNetwork):
         trace: bool = False,
         on_round: Callable[[RoundEvent], None] | None = None,
     ) -> RunResult:
-        """Execute one CONGEST algorithm, one shuffle per round.
+        """Execute one CONGEST algorithm, at most one shuffle per round.
 
         The loop is the reference engine's, verbatim in structure: the
-        only difference is that each round's pending messages reach their
-        targets' inboxes through :meth:`MPCRuntime.shuffle` instead of a
-        dictionary swap.  Inboxes are re-sorted to ascending sender order
-        afterwards, which is the order the per-message reference loop
-        produces, so algorithms observe identical inbox iteration order.
+        only difference is how a round's pending messages reach their
+        targets' inboxes.  At ``compress=1`` (or whenever a larger window
+        does not fit) each round routes through one
+        :meth:`MPCRuntime.shuffle`; with ``compress=k`` the adaptive
+        window planner batches up to ``k`` rounds behind a single
+        prefetch shuffle and replays them machine-locally.  Either way
+        the CONGEST-side metering (``stats``, traces, round events) is
+        produced by the identical per-round body, so the parity contract
+        is independent of the window length.
         """
         if max_rounds is None:
             max_rounds = DEFAULT_ROUND_FACTOR * self.n * self.n + 1000
@@ -170,29 +206,35 @@ class MPCCongestNetwork(CongestNetwork):
                     f"no termination within {max_rounds} rounds "
                     f"({sum(1 for a in algorithms if not a.done)} nodes alive)"
                 )
-            stats.rounds += 1
-            before_messages = stats.messages
-            before_words = stats.total_words
-            before_cut = stats.cut_words
             live_machines = len(
                 {self._host[a.node.id] for a in algorithms if not a.done}
             )
-            inboxes = self._shuffle_round(pending, live_machines)
-            pending = {i: {} for i in range(self.n)}
-            awake = 0
-            for alg in algorithms:
-                if alg.done:
-                    continue
-                awake += 1
-                outbox = alg.on_round(inboxes[alg.node.id])
-                self._collect(alg, outbox, pending, stats)
-            self._emit(
-                timeline, hook, stats.rounds,
-                stats.messages - before_messages,
-                stats.total_words - before_words,
-                awake, stats.cut_words - before_cut,
-                sum(1 for a in algorithms if not a.done),
-            )
+            window = self._plan_window(pending)
+            if window == 1:
+                inboxes = self._shuffle_round(pending, live_machines)
+                pending = {i: {} for i in range(self.n)}
+                self._execute_round(
+                    algorithms, inboxes, pending, stats, timeline, hook
+                )
+                continue
+            self._prefetch_window(pending, window, live_machines)
+            executed = 0
+            for _ in range(window):
+                if all(alg.done for alg in algorithms):
+                    break
+                if stats.rounds >= max_rounds:
+                    raise RoundLimitError(
+                        f"no termination within {max_rounds} rounds "
+                        f"({sum(1 for a in algorithms if not a.done)} "
+                        f"nodes alive)"
+                    )
+                inboxes = self._local_inboxes(pending)
+                pending = {i: {} for i in range(self.n)}
+                self._execute_round(
+                    algorithms, inboxes, pending, stats, timeline, hook
+                )
+                executed += 1
+            self.runtime.absorb_early_finish(window - executed)
 
         outputs = {
             self._label_of[alg.node.id]: alg.output for alg in algorithms
@@ -200,6 +242,29 @@ class MPCCongestNetwork(CongestNetwork):
         by_id = {alg.node.id: alg.output for alg in algorithms}
         return RunResult(
             outputs=outputs, stats=stats, by_id=by_id, trace=timeline
+        )
+
+    def _execute_round(
+        self, algorithms, inboxes, pending, stats, timeline, hook
+    ) -> None:
+        """One CONGEST round: the reference engine's body, verbatim."""
+        stats.rounds += 1
+        before_messages = stats.messages
+        before_words = stats.total_words
+        before_cut = stats.cut_words
+        awake = 0
+        for alg in algorithms:
+            if alg.done:
+                continue
+            awake += 1
+            outbox = alg.on_round(inboxes[alg.node.id])
+            self._collect(alg, outbox, pending, stats)
+        self._emit(
+            timeline, hook, stats.rounds,
+            stats.messages - before_messages,
+            stats.total_words - before_words,
+            awake, stats.cut_words - before_cut,
+            sum(1 for a in algorithms if not a.done),
         )
 
     def _emit(
@@ -256,6 +321,181 @@ class MPCCongestNetwork(CongestNetwork):
                 inboxes[target] = dict(sorted(box.items()))
         return inboxes
 
+    # -- round compression --------------------------------------------------
+
+    def _ensure_frontier_tables(self) -> None:
+        """Hop distances and state-payload costs, built once per network.
+
+        ``_hop_dist[mid]`` maps node id -> hop distance from machine
+        ``mid``'s hosted vertex set, computed to ``compress - 1`` hops by
+        multi-source BFS; nodes further away are absent.  The state
+        payload of node ``u`` is its id plus its adjacency tuple — exactly
+        the words hosting ``u`` costs — which is what a machine prefetches
+        to replay ``u`` locally during a compressed window.
+        """
+        if self._hop_dist is not None:
+            return
+        max_radius = self.compress - 1
+        hop_dist: list[dict[int, int]] = []
+        for mid in range(self.num_machines):
+            dist = {
+                u: 0 for u, host in enumerate(self._host) if host == mid
+            }
+            frontier = list(dist)
+            for d in range(1, max_radius + 1):
+                grown: list[int] = []
+                for u in frontier:
+                    for v in self._adjacency[u]:
+                        if v not in dist:
+                            dist[v] = d
+                            grown.append(v)
+                frontier = grown
+                if not frontier:
+                    break
+            hop_dist.append(dist)
+        self._hop_dist = hop_dist
+        self._state_payloads = [
+            (u,) + self._adjacency[u] for u in range(self.n)
+        ]
+        self._state_costs = [
+            ENVELOPE_WORDS + payload_words(payload, self.word_bits)
+            for payload in self._state_payloads
+        ]
+
+    def _watchers_at(self, radius: int) -> list[tuple[int, ...]]:
+        """Per node: the machines whose hosted set is within ``radius``.
+
+        Machine ``mid`` "watches" node ``u`` at radius ``r`` when some
+        hosted vertex of ``mid`` lies within ``r`` hops of ``u`` — then a
+        compressed window of ``r + 1`` rounds obliges ``mid`` to prefetch
+        ``u``'s state and any message addressed to ``u``.  The host
+        machine always watches its own nodes (distance 0) and is filtered
+        at use sites, where its copies are free.  Also caches the static
+        per-machine state-word loads at this radius.
+        """
+        cached = self._watchers.get(radius)
+        if cached is not None:
+            return cached
+        self._ensure_frontier_tables()
+        watcher_lists: list[list[int]] = [[] for _ in range(self.n)]
+        for mid, dist in enumerate(self._hop_dist):
+            for u, d in dist.items():
+                if d <= radius:
+                    watcher_lists[u].append(mid)
+        cached = [tuple(machines) for machines in watcher_lists]
+        state_in = [0] * self.num_machines
+        state_out = [0] * self.num_machines
+        for u in range(self.n):
+            host = self._host[u]
+            cost = self._state_costs[u]
+            for mid in cached[u]:
+                if mid != host:
+                    state_in[mid] += cost
+                    state_out[host] += cost
+        self._watchers[radius] = cached
+        self._state_loads[radius] = (state_in, state_out)
+        return cached
+
+    def _plan_window(self, pending: dict[int, dict[int, Any]]) -> int:
+        """Adaptively choose this window's length ``k``.
+
+        Returns the largest ``k <= compress`` such that every machine's
+        prefetched frontier — neighbor state within ``k - 1`` hops plus
+        every pending message addressed into that neighborhood, word-
+        counted exactly as :meth:`_prefetch_window` will ship them — fits
+        both sides (send and receive) of every machine's
+        :meth:`~repro.mpc.machine.Machine.window_budget_words`.  Frontiers
+        grow monotonically with ``k``, so the scan stops at the first
+        radius that no longer fits; when even ``k = 2`` does not fit the
+        window degrades to the classical one-round-one-shuffle path
+        (``k = 1``) instead of raising.
+        """
+        if self.compress <= 1:
+            return 1
+        self._ensure_frontier_tables()
+        budgets = [m.window_budget_words() for m in self.machines]
+        host = self._host
+        messages: list[tuple[int, int, int]] = []
+        for target, senders in pending.items():
+            for sender, payload in senders.items():
+                cost = ENVELOPE_WORDS + payload_words(
+                    (sender, target, payload), self.word_bits
+                )
+                messages.append((sender, target, cost))
+        best = 1
+        for k in range(2, self.compress + 1):
+            watchers = self._watchers_at(k - 1)
+            state_in, state_out = self._state_loads[k - 1]
+            in_words = list(state_in)
+            out_words = list(state_out)
+            for sender, target, cost in messages:
+                sender_host = host[sender]
+                for mid in watchers[target]:
+                    if mid != sender_host:
+                        in_words[mid] += cost
+                        out_words[sender_host] += cost
+            if any(
+                in_words[mid] > budgets[mid] or out_words[mid] > budgets[mid]
+                for mid in range(self.num_machines)
+            ):
+                break
+            best = k
+        return best
+
+    def _prefetch_window(
+        self,
+        pending: dict[int, dict[int, Any]],
+        window: int,
+        live_machines: int,
+    ) -> None:
+        """Ship a ``window``-round frontier through one metered shuffle.
+
+        Every machine receives (a) the state payload — id plus adjacency
+        — of each foreign node within ``window - 1`` hops of its hosted
+        set, and (b) a copy of each pending message whose target lies in
+        that neighborhood: exactly what it needs to replay the window's
+        rounds for its own vertices without further communication.
+        Messages are deliberately *replicated* to every watching machine;
+        that fan-out is the real word cost of graph exponentiation and is
+        what the window planner budgeted.
+        """
+        watchers = self._watchers_at(window - 1)
+        host = self._host
+        outboxes: list[list[tuple[int, Any]]] = [
+            [] for _ in range(self.num_machines)
+        ]
+        for u in range(self.n):
+            node_host = host[u]
+            payload = self._state_payloads[u]
+            for mid in watchers[u]:
+                if mid != node_host:
+                    outboxes[node_host].append((mid, payload))
+        for target, senders in pending.items():
+            for sender, payload in senders.items():
+                sender_host = host[sender]
+                envelope = (sender, target, payload)
+                for mid in watchers[target]:
+                    if mid != sender_host:
+                        outboxes[sender_host].append((mid, envelope))
+        self.runtime.shuffle(
+            outboxes, active=live_machines, congest_rounds=window
+        )
+
+    def _local_inboxes(
+        self, pending: dict[int, dict[int, Any]]
+    ) -> dict[int, dict[int, Any]]:
+        """Deliver a replayed round's messages without a shuffle.
+
+        Inside a compressed window every machine already holds the
+        frontier, so delivery is a no-op on the MPC ledger; only the
+        reference inbox order (ascending sender id) is normalized, the
+        same order :meth:`_shuffle_round` produces.
+        """
+        for target, box in pending.items():
+            if len(box) > 1:
+                pending[target] = dict(sorted(box.items()))
+        return pending
+
 
 # -- parity harness ---------------------------------------------------------
 
@@ -272,6 +512,7 @@ def solve_with_parity(
     alpha: float,
     seed: int = 0,
     io_factor: float = 8.0,
+    compress: int = 1,
 ) -> tuple[Any, MPCCongestNetwork, dict[str, Any]]:
     """Run ``solver`` on the MPC backend and on an engine-v2 shadow.
 
@@ -281,7 +522,10 @@ def solve_with_parity(
     runs must agree on the solution, on every ``RunStats`` field and on
     the per-round ``RoundEvent`` stream (messages/words/cut words, round
     by round, across all stages) — any divergence raises
-    :class:`ParityError`.  Returns ``(mpc_result, mpc_network, report)``.
+    :class:`ParityError`.  ``compress`` only changes the MPC ledger (how
+    many shuffles carry those rounds), so the parity claim is asserted
+    unchanged at every ``k``.  Returns ``(mpc_result, mpc_network,
+    report)``.
     """
     ref_events: list[RoundEvent] = []
     mpc_events: list[RoundEvent] = []
@@ -295,6 +539,7 @@ def solve_with_parity(
         seed=seed,
         io_factor=io_factor,
         on_round=mpc_events.append,
+        compress=compress,
     )
     mpc_result = solver(network=mpc_net)
 
@@ -336,19 +581,21 @@ def run_stage_parity(
     seed: int = 0,
     prepare: Callable[[CongestNetwork], None] | None = None,
     io_factor: float = 8.0,
+    compress: int = 1,
 ) -> dict[str, Any]:
     """Stage-level parity check for bare ``NodeAlgorithm`` factories.
 
     Runs each factory back to back on an MPC network and an engine-v2
     network (same graph, same seed), with ``prepare(network)`` seeding any
     required per-node state on each side first.  Asserts per-stage outputs,
-    stats and traces are identical; returns a summary dict (stage count,
-    rounds, the MPC ledger).
+    stats and traces are identical — at any ``compress`` window, since
+    compression never touches the CONGEST ledger; returns a summary dict
+    (stage count, rounds, the MPC ledger).
     """
     stages = list(stages)
     ref_net = CongestNetwork(graph, seed=seed, engine="v2")
     mpc_net = MPCCongestNetwork(
-        graph, alpha=alpha, seed=seed, io_factor=io_factor
+        graph, alpha=alpha, seed=seed, io_factor=io_factor, compress=compress
     )
     for net in (ref_net, mpc_net):
         net.reset_state()
@@ -380,6 +627,7 @@ def _solve_on_mpc(
     seed: int,
     check_parity: bool,
     io_factor: float,
+    compress: int = 1,
 ):
     """Shared scaffolding of the compiled solver entry points.
 
@@ -390,11 +638,13 @@ def _solve_on_mpc(
     """
     if check_parity:
         result, net, report = solve_with_parity(
-            solver, graph, alpha=alpha, seed=seed, io_factor=io_factor
+            solver, graph, alpha=alpha, seed=seed, io_factor=io_factor,
+            compress=compress,
         )
     else:
         net = MPCCongestNetwork(
-            graph, alpha=alpha, seed=seed, io_factor=io_factor
+            graph, alpha=alpha, seed=seed, io_factor=io_factor,
+            compress=compress,
         )
         result = solver(network=net)
         report = {"parity": False}
@@ -410,6 +660,7 @@ def solve_mvc_mpc(
     seed: int = 0,
     check_parity: bool = False,
     io_factor: float = 8.0,
+    compress: int = 1,
 ):
     """Algorithm 1 ((1+eps)-MVC of G^2) compiled onto the MPC backend.
 
@@ -421,7 +672,9 @@ def solve_mvc_mpc(
     def solver(network):
         return approx_mvc_square(graph, epsilon, network=network)
 
-    return _solve_on_mpc(solver, graph, alpha, seed, check_parity, io_factor)
+    return _solve_on_mpc(
+        solver, graph, alpha, seed, check_parity, io_factor, compress
+    )
 
 
 def solve_mds_mpc(
@@ -431,6 +684,7 @@ def solve_mds_mpc(
     samples: int | None = None,
     check_parity: bool = False,
     io_factor: float = 8.0,
+    compress: int = 1,
 ):
     """Theorem 28 (O(log Delta)-MDS of G^2) compiled onto the MPC backend."""
     from repro.core.mds_congest import approx_mds_square
@@ -438,4 +692,6 @@ def solve_mds_mpc(
     def solver(network):
         return approx_mds_square(graph, network=network, samples=samples)
 
-    return _solve_on_mpc(solver, graph, alpha, seed, check_parity, io_factor)
+    return _solve_on_mpc(
+        solver, graph, alpha, seed, check_parity, io_factor, compress
+    )

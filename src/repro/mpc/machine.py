@@ -46,12 +46,22 @@ def memory_budget(n: int, alpha: float) -> int:
     traffic); ``alpha`` up to 2 is allowed for the near-linear/debug
     regime — ``S = n^2`` always holds a whole simple graph, so a single
     machine suffices and every message stays local.
+
+    Float precision: ``n ** alpha`` can land a couple of ulps *above* an
+    exact integer root (``3125 ** 0.2 == 5.000000000000001``), which a
+    bare ``math.ceil`` would overshoot to 6.  Values within a few ulps of
+    an integer snap to that integer before the ceiling, so perfect powers
+    get their exact root.
     """
     if n < 1:
         raise ValueError("n must be positive")
     if not 0.0 < alpha <= 2.0:
         raise ValueError(f"alpha must be in (0, 2], got {alpha!r}")
-    return max(1, math.ceil(n ** alpha))
+    raw = n ** alpha
+    nearest = round(raw)
+    if nearest >= 1 and abs(raw - nearest) <= 4 * math.ulp(raw):
+        return max(1, nearest)
+    return max(1, math.ceil(raw))
 
 
 class Machine:
@@ -88,6 +98,20 @@ class Machine:
         if words < 0:
             raise ValueError("cannot release a negative word count")
         self.stored_words = max(0, self.stored_words - words)
+
+    def window_budget_words(self) -> int:
+        """Words of k-hop frontier this machine may prefetch in one window.
+
+        Round compression ships a machine the message frontier and the
+        neighbor state it needs to replay ``k`` CONGEST rounds locally.
+        The frontier arrives through a single shuffle and is held only for
+        the window, so the binding constraint is the model's per-round
+        O(S) I/O bound (``io_factor * S``), not durable storage: the
+        compiler's window planner compares every machine's prefetched
+        words against this budget and shrinks ``k`` (ultimately to the
+        uncompressed ``k = 1``) until the window fits everywhere.
+        """
+        return self.io_budget_words
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -27,6 +27,7 @@ from typing import Any
 
 from repro.congest.errors import RoundLimitError
 from repro.congest.message import payload_words
+from repro.congest.network import combine_word_bits
 from repro.mpc.machine import Machine, MachineProgram, MemoryBudgetExceeded
 
 #: Routing-header words charged per shuffled message on top of its payload.
@@ -42,9 +43,17 @@ class MPCRunStats:
 
     ``max_in_words`` / ``max_out_words`` are the worst single-machine
     receive/send loads over any one round — the "max machine load" of the
-    model's O(S) I/O bound.  Mirrors
+    model's O(S) I/O bound.  ``rounds`` counts *shuffles* (the MPC round
+    unit; :attr:`shuffles` is the explicit alias), while
+    ``congest_rounds`` counts the CONGEST rounds those shuffles carried:
+    the two coincide at the classical 1:1 compilation and diverge under
+    round compression, where one prefetch shuffle covers ``k`` locally
+    replayed CONGEST rounds.  Mirrors
     :class:`~repro.congest.network.RunStats`: addition refuses to mix word
-    sizes because word counts are not commensurable across them.
+    sizes because word counts are not commensurable across them — except
+    against an *empty* stats object (all counters zero), which acts as an
+    additive identity regardless of its ``word_bits`` so ``sum(...,
+    MPCRunStats())`` works over any homogeneous collection.
     """
 
     rounds: int = 0
@@ -53,34 +62,45 @@ class MPCRunStats:
     max_in_words: int = 0
     max_out_words: int = 0
     word_bits: int = 0
+    congest_rounds: int = 0
+
+    @property
+    def shuffles(self) -> int:
+        """Shuffle count — an explicit alias of ``rounds``."""
+        return self.rounds
 
     @property
     def total_bits(self) -> int:
         return self.total_words * self.word_bits
 
+    def is_empty(self) -> bool:
+        """True when every counter is zero (word size aside)."""
+        return not (
+            self.rounds
+            or self.messages
+            or self.total_words
+            or self.max_in_words
+            or self.max_out_words
+            or self.congest_rounds
+        )
+
     def __add__(self, other: "MPCRunStats") -> "MPCRunStats":
-        if (
-            self.word_bits
-            and other.word_bits
-            and self.word_bits != other.word_bits
-        ):
-            raise ValueError(
-                f"cannot add MPCRunStats with different word sizes "
-                f"({self.word_bits} vs {other.word_bits} bits); convert to "
-                f"bits before aggregating across runtimes"
-            )
+        word_bits = combine_word_bits(self, other, "MPCRunStats", "runtimes")
         return MPCRunStats(
             rounds=self.rounds + other.rounds,
             messages=self.messages + other.messages,
             total_words=self.total_words + other.total_words,
             max_in_words=max(self.max_in_words, other.max_in_words),
             max_out_words=max(self.max_out_words, other.max_out_words),
-            word_bits=self.word_bits or other.word_bits,
+            word_bits=word_bits,
+            congest_rounds=self.congest_rounds + other.congest_rounds,
         )
 
     def to_json(self) -> dict[str, int]:
         return {
             "rounds": self.rounds,
+            "shuffles": self.shuffles,
+            "congest_rounds": self.congest_rounds,
             "messages": self.messages,
             "total_words": self.total_words,
             "max_in_words": self.max_in_words,
@@ -91,7 +111,13 @@ class MPCRunStats:
 
 @dataclass
 class ShuffleRecord:
-    """Per-shuffle traffic: the MPC analogue of a trace ``RoundRecord``."""
+    """Per-shuffle traffic: the MPC analogue of a trace ``RoundRecord``.
+
+    ``congest_rounds`` is the number of CONGEST rounds this shuffle
+    carried: 1 under the classical compilation, ``k`` for a compressed
+    window's prefetch shuffle (the ``k`` rounds after it replay locally
+    and appear in no further record).
+    """
 
     round_index: int
     messages: int
@@ -99,6 +125,7 @@ class ShuffleRecord:
     max_in_words: int
     max_out_words: int
     active_machines: int
+    congest_rounds: int = 1
 
 
 @dataclass
@@ -139,6 +166,7 @@ class MPCRuntime:
         self,
         outboxes: Sequence[Iterable[tuple[int, Any]] | None],
         active: int | None = None,
+        congest_rounds: int = 1,
     ) -> list[list[tuple[int, Any]]]:
         """Execute one metered shuffle round.
 
@@ -149,7 +177,13 @@ class MPCRuntime:
         callers built their outboxes.  Word accounting and the per-machine
         I/O budget check happen here; budget violations raise
         :class:`MemoryBudgetExceeded` before any message is delivered.
+
+        ``congest_rounds`` records how many CONGEST rounds this shuffle
+        carries in the ledger (1 classically; the compressed compiler
+        passes the window length ``k`` for its prefetch shuffle).
         """
+        if congest_rounds < 1:
+            raise ValueError("congest_rounds must be positive")
         m = self.num_machines
         if len(outboxes) != m:
             raise ValueError(
@@ -194,6 +228,7 @@ class MPCRuntime:
         max_out = max(out_words)
         stats = self.stats
         stats.rounds += 1
+        stats.congest_rounds += congest_rounds
         stats.messages += messages
         stats.total_words += words_total
         stats.max_in_words = max(stats.max_in_words, max_in)
@@ -206,9 +241,33 @@ class MPCRuntime:
                 max_in_words=max_in,
                 max_out_words=max_out,
                 active_machines=m if active is None else active,
+                congest_rounds=congest_rounds,
             )
         )
         return inboxes
+
+    def absorb_early_finish(self, unexecuted_rounds: int) -> None:
+        """Give back CONGEST rounds a compressed window never replayed.
+
+        A prefetch shuffle charges its planned window length up front; when
+        every node finishes before the window is exhausted, the compiler
+        calls this to keep ``stats.congest_rounds`` (and the last trace
+        record) equal to the rounds actually executed.
+        """
+        if unexecuted_rounds < 0:
+            raise ValueError("unexecuted_rounds must be non-negative")
+        if not unexecuted_rounds:
+            return
+        if not self.trace:
+            raise ValueError("no shuffle on record to absorb rounds from")
+        record = self.trace[-1]
+        if record.congest_rounds - unexecuted_rounds < 1:
+            raise ValueError(
+                f"last shuffle carried {record.congest_rounds} CONGEST "
+                f"round(s); cannot give back {unexecuted_rounds}"
+            )
+        record.congest_rounds -= unexecuted_rounds
+        self.stats.congest_rounds -= unexecuted_rounds
 
     # -- whole-program execution -------------------------------------------
 
@@ -253,6 +312,7 @@ class MPCRuntime:
         stats = MPCRunStats(word_bits=self.word_bits)
         for record in run_trace:
             stats.rounds += 1
+            stats.congest_rounds += record.congest_rounds
             stats.messages += record.messages
             stats.total_words += record.words
             stats.max_in_words = max(stats.max_in_words, record.max_in_words)

@@ -227,6 +227,64 @@ def mpc_vs_congest_grid(quick: bool = False) -> GridSpec:
     )
 
 
+#: Compression windows swept by the ``mpc-compression`` grids.  The
+#: benchmark's ``--check`` gate asserts shuffle counts strictly decrease
+#: along this axis on every (task, n, alpha) point of the quick grid.
+MPC_COMPRESSION_KS = (1, 2, 4)
+
+
+def mpc_compression_grid(quick: bool = False) -> GridSpec:
+    """Round-compression sweep: shuffles vs ``k`` at fixed (task, n, alpha).
+
+    Every cell carries ``parity=True`` (its own engine-v2 shadow asserts
+    the CONGEST ledger is untouched by compression), and cells differ only
+    in the ``compress`` window along :data:`MPC_COMPRESSION_KS`, so
+    ``bench_mpc.py`` can read shuffle-count-vs-k curves straight off the
+    ``mpc`` ledger.  Alphas sit in the regime where the k-hop frontier
+    actually fits the window budget — the point of the grid is to observe
+    compression *engaging*; the forced-fallback regime is covered by the
+    differential tests instead.
+    """
+    points: list[tuple[str, int, float | None, float, float]] = [
+        # (task, n, eps, gnp_p, alpha).  MDS points need the near-linear
+        # alpha = 1.0: its many short stages restart windows constantly,
+        # and only that budget lets the deeper (k-1)-hop frontiers fit
+        # often enough for k = 4 to beat k = 2 strictly.
+        ("mpc-mvc", 16, 0.5, 0.2, 0.9),
+        ("mpc-mds", 12, None, 0.25, 1.0),
+    ]
+    if not quick:
+        points += [
+            ("mpc-mvc", 24, 0.5, 0.15, 0.85),
+            ("mpc-mvc", 24, 0.5, 0.15, 1.0),
+            ("mpc-mds", 16, None, 0.2, 1.1),
+        ]
+    cells = []
+    for task, n, eps, p, alpha in points:
+        for k in MPC_COMPRESSION_KS:
+            params: tuple[tuple[str, object], ...] = (
+                ("gnp_p", p),
+                ("alpha", alpha),
+                ("parity", True),
+            )
+            if k != 1:
+                params += (("compress", k),)
+            cells.append(
+                Cell(
+                    task=task,
+                    graph="gnp",
+                    n=n,
+                    seed=n,
+                    eps=eps,
+                    params=params,
+                )
+            )
+    return GridSpec(
+        name="mpc-compression-quick" if quick else "mpc-compression",
+        cells=tuple(cells),
+    )
+
+
 def mpc_smoke_grid() -> GridSpec:
     """Small all-MPC grid for CI smoke runs (seconds, not minutes)."""
     cells = [
@@ -339,6 +397,8 @@ NAMED_GRIDS = {
     "mpc-smoke": mpc_smoke_grid,
     "mpc-vs-congest": mpc_vs_congest_grid,
     "mpc-vs-congest-quick": lambda: mpc_vs_congest_grid(quick=True),
+    "mpc-compression": mpc_compression_grid,
+    "mpc-compression-quick": lambda: mpc_compression_grid(quick=True),
 }
 
 

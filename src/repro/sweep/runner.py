@@ -84,6 +84,13 @@ class CellResult:
     error: str | None = None
     seconds: float = 0.0
     max_rss_kb: int | None = None
+    #: Environment degradations that did not fail the cell — currently the
+    #: timeout fallback (a requested ``timeout`` that could not be armed
+    #: because ``SIGALRM`` is unavailable or the evaluation runs off the
+    #: main thread runs un-budgeted instead of silently pretending the
+    #: budget was enforced).  Platform-dependent like ``seconds``, so it is
+    #: excluded from :meth:`SweepResult.deterministic_json`.
+    warning: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -106,6 +113,7 @@ class CellResult:
         if include_timing:
             data["seconds"] = self.seconds
             data["max_rss_kb"] = self.max_rss_kb
+            data["warning"] = self.warning
         return data
 
 
@@ -259,6 +267,22 @@ def _alarm_handler(signum, frame):  # pragma: no cover - dispatched by OS
     raise CellTimeoutError
 
 
+def _can_arm_alarm() -> bool:
+    """Whether a ``SIGALRM`` timeout can actually be armed here.
+
+    Two independent degradations exist: platforms without ``SIGALRM``
+    (e.g. Windows) where referencing it would raise, and non-main threads,
+    where ``signal.signal`` raises ``ValueError`` and an armed alarm would
+    never be delivered to this frame anyway.  Callers that detect either
+    must fall back to no-timeout *visibly* (a ``CellResult.warning``), not
+    silently.
+    """
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
 def _peak_rss_kb() -> int | None:
     """Peak RSS of this process in KiB, or None without ``resource``.
 
@@ -283,15 +307,25 @@ def evaluate_cell(
     repeats are equal) — the standard best-of-N used by the benchmarks.
 
     The timeout uses ``SIGALRM`` and therefore only applies on the main
-    thread of a POSIX process; elsewhere it degrades to "no timeout" rather
-    than failing (the budget covers all repeats together).
+    thread of a POSIX process; elsewhere it degrades to "no timeout" —
+    recorded as ``CellResult.warning`` so the degradation is visible in
+    the merged table — rather than failing (the budget covers all repeats
+    together).
     """
-    use_alarm = (
-        timeout is not None
-        and timeout > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
+    timeout_requested = timeout is not None and timeout > 0
+    use_alarm = timeout_requested and _can_arm_alarm()
+    warning = None
+    if timeout_requested and not use_alarm:
+        if not hasattr(signal, "SIGALRM"):
+            warning = (
+                f"timeout {timeout:g}s not enforced: signal.SIGALRM is "
+                f"unavailable on this platform; cell ran un-budgeted"
+            )
+        else:
+            warning = (
+                f"timeout {timeout:g}s not enforced: SIGALRM only fires on "
+                f"the main thread; cell ran un-budgeted"
+            )
     old_handler = None
     armed = use_alarm
     if use_alarm:
@@ -332,6 +366,7 @@ def evaluate_cell(
             payload=payload,
             seconds=best,
             max_rss_kb=_peak_rss_kb(),
+            warning=warning,
         )
     except CellTimeoutError:
         _disarm()
@@ -341,6 +376,7 @@ def evaluate_cell(
             error=f"cell exceeded timeout of {timeout:g}s",
             seconds=float(timeout or 0.0),
             max_rss_kb=_peak_rss_kb(),
+            warning=warning,
         )
     except Exception:
         _disarm()
@@ -349,6 +385,7 @@ def evaluate_cell(
             status=STATUS_ERROR,
             error=traceback.format_exc(limit=20)[-_ERROR_LIMIT:],
             max_rss_kb=_peak_rss_kb(),
+            warning=warning,
         )
 
 
@@ -382,12 +419,7 @@ def _prewarm_with_budget(cells, timeout: float | None) -> None:
     cache.  Where ``SIGALRM`` is unavailable the prewarm is unbounded,
     matching the per-cell timeout's own degradation.
     """
-    use_alarm = (
-        timeout is not None
-        and timeout > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
+    use_alarm = timeout is not None and timeout > 0 and _can_arm_alarm()
     if not use_alarm:
         prewarm_graph_cache(cells)
         return

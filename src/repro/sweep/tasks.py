@@ -295,13 +295,17 @@ def _mds_estimator(cell: Cell) -> dict[str, Any]:
 
 @register_task("mpc-mvc", graph_cache=True)
 def _mpc_mvc(cell: Cell) -> dict[str, Any]:
-    """Algorithm 1 compiled onto the MPC backend (one shuffle per round).
+    """Algorithm 1 compiled onto the MPC backend.
 
-    With ``params=(("parity", True),)`` the cell also runs an engine-v2
-    shadow and asserts word-for-word metering parity (outputs, RunStats,
-    per-round event stream).  The congest-level ``stats`` payload is
-    byte-identical to the ``mvc-congest`` task's on the same cell
-    coordinates — that equality is what ``bench_mpc.py`` checks.
+    One shuffle per CONGEST round classically; with a ``compress`` param
+    ``> 1`` the compiler batches up to that many rounds behind each
+    prefetch shuffle (adaptively, falling back where the frontier exceeds
+    the window budget).  With ``params=(("parity", True),)`` the cell also
+    runs an engine-v2 shadow and asserts word-for-word metering parity
+    (outputs, RunStats, per-round event stream).  The congest-level
+    ``stats`` payload is byte-identical to the ``mvc-congest`` task's on
+    the same cell coordinates — at every ``compress`` — which is what
+    ``bench_mpc.py`` checks.
     """
     from repro.graphs.power import square
     from repro.graphs.validation import assert_vertex_cover
@@ -316,6 +320,7 @@ def _mpc_mvc(cell: Cell) -> dict[str, Any]:
         alpha=alpha,
         seed=cell.seed,
         check_parity=bool(cell.param("parity", False)),
+        compress=int(cell.param("compress", 1)),
     )
     assert_vertex_cover(square(graph), result.cover)
     return {
@@ -340,6 +345,7 @@ def _mpc_mds(cell: Cell) -> dict[str, Any]:
         alpha=alpha,
         seed=cell.seed,
         check_parity=bool(cell.param("parity", False)),
+        compress=int(cell.param("compress", 1)),
     )
     assert_dominating_set(square(graph), result.cover)
     return {
@@ -423,6 +429,7 @@ def _mpc_parity(cell: Cell) -> dict[str, Any]:
         alpha=alpha,
         seed=cell.seed,
         prepare=prepare,
+        compress=int(cell.param("compress", 1)),
     )
     matching = mpc_maximal_matching(graph, alpha=alpha, seed=cell.seed)
     assert_maximal_matching(graph, matching.matching)

@@ -143,3 +143,82 @@ class TestSweepCommand:
     def test_requires_grid_or_task(self):
         with pytest.raises(SystemExit):
             main(["sweep"])
+
+
+class TestAlphasParsing:
+    def test_duplicates_dropped_preserving_order(self):
+        from repro.cli import _parse_alphas, _sweep_grid_from_args
+
+        assert _parse_alphas("0.9,0.8,0.9,0.80") == (0.9, 0.8)
+        # A duplicated alpha must not double-run any cell.
+        args = build_parser().parse_args(
+            ["sweep", "--task", "mpc-mvc", "--model", "mpc",
+             "--alphas", "0.9,0.9,0.8", "--ns", "12"]
+        )
+        grid = _sweep_grid_from_args(args)
+        keys = [cell.key for cell in grid.cells]
+        assert len(keys) == len(set(keys)) == 2
+
+    def test_nonpositive_alpha_rejected(self):
+        from repro.cli import _parse_alphas
+
+        for bad in ("0", "-0.5", "0.8,0"):
+            with pytest.raises(SystemExit, match="positive"):
+                _parse_alphas(bad)
+
+    def test_non_numeric_alpha_rejected(self):
+        from repro.cli import _parse_alphas
+
+        with pytest.raises(SystemExit, match="not a number"):
+            _parse_alphas("0.8,abc")
+
+
+class TestCompressFlag:
+    def test_mvc_mpc_with_compression(self, capsys):
+        code = main(
+            ["mvc", "--n", "14", "--model", "mpc", "--alpha", "0.9",
+             "-k", "4", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compression:" in out
+        assert "-k 4" in out
+
+    def test_compress_requires_mpc_model(self, capsys):
+        code = main(["mvc", "--n", "12", "--compress", "2"])
+        assert code == 2
+        assert "--model mpc" in capsys.readouterr().err
+
+    def test_compress_must_be_positive(self, capsys):
+        code = main(
+            ["mds", "--n", "12", "--model", "mpc", "--compress", "0"]
+        )
+        assert code == 2
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_sweep_compress_axis_dedupes(self):
+        from repro.cli import _parse_compress, _sweep_grid_from_args
+
+        assert _parse_compress("4,2,4,1") == (4, 2, 1)
+        with pytest.raises(SystemExit, match=">= 1"):
+            _parse_compress("2,0")
+        args = build_parser().parse_args(
+            ["sweep", "--task", "mpc-mvc", "--model", "mpc",
+             "--alphas", "0.9", "--compress", "1,2,2", "--ns", "12"]
+        )
+        grid = _sweep_grid_from_args(args)
+        assert len(grid.cells) == 2
+        assert [cell.param("compress", 1) for cell in grid.cells] == [1, 2]
+
+    def test_sweep_compress_requires_mpc_model(self):
+        with pytest.raises(SystemExit, match="--model mpc"):
+            main(["sweep", "--task", "mvc-congest", "--ns", "10",
+                  "--compress", "2"])
+
+    def test_verify_mpc_with_compression(self, capsys):
+        code = main(
+            ["verify", "--model", "mpc", "--samples", "1", "--n", "12",
+             "--compress", "2"]
+        )
+        assert code == 0
+        assert "parity samples verified" in capsys.readouterr().out

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.congest.errors import RoundLimitError
 from repro.graphs.generators import build_graph, path_graph, star_graph
@@ -40,6 +42,24 @@ class TestMemoryBudget:
         # alpha in (1, 2] is the debug regime: S = n^2 holds any graph.
         assert memory_budget(10, 2.0) == 100
 
+    def test_float_overshoot_snaps_to_integer_root(self):
+        # Regression: 3125 ** 0.2 == 5.000000000000001 in floats, so a
+        # bare ceil overshot the exact root to 6.
+        assert memory_budget(3125, 0.2) == 5
+        assert memory_budget(5 ** 5, 1 / 5) == 5
+        # Undershoot side (999...8) keeps working too.
+        assert memory_budget(1000, 1 / 3) == 10
+
+    @given(
+        base=st.integers(min_value=2, max_value=40),
+        exponent=st.integers(min_value=2, max_value=8),
+    )
+    def test_perfect_powers_get_their_exact_root(self, base, exponent):
+        # For n = b^e and alpha = 1/e the mathematical budget is exactly
+        # b; float noise in n ** alpha (either direction, a couple of
+        # ulps) must not change that.
+        assert memory_budget(base ** exponent, 1.0 / exponent) == base
+
 
 class TestMachine:
     def test_charge_within_budget(self):
@@ -62,6 +82,12 @@ class TestMachine:
     def test_io_budget_scales_with_factor(self):
         assert Machine(0, 10, io_factor=8.0).io_budget_words == 80
         assert Machine(0, 10, io_factor=1.0).io_budget_words == 10
+
+    def test_window_budget_is_the_io_bound(self):
+        # The compressed compiler's prefetch frontier arrives through one
+        # shuffle, so the window budget is the O(S) per-round I/O bound.
+        machine = Machine(0, 10, io_factor=8.0)
+        assert machine.window_budget_words() == machine.io_budget_words
 
 
 class TestBalancedAssignment:
@@ -198,4 +224,22 @@ class TestRuntime:
         assert combined.rounds == 3
         assert combined.total_words == 12
         with pytest.raises(ValueError, match="word sizes"):
-            a + MPCRunStats(word_bits=6)
+            a + MPCRunStats(rounds=1, word_bits=6)
+
+    def test_empty_stats_are_an_additive_identity(self):
+        # Regression: an all-zero stats object must be summable into a
+        # populated one regardless of its word_bits — both ways round —
+        # adopting the populated side's word size.
+        populated = MPCRunStats(
+            rounds=3, messages=5, total_words=9, congest_rounds=6,
+            word_bits=5,
+        )
+        for empty in (MPCRunStats(), MPCRunStats(word_bits=8)):
+            for combined in (populated + empty, empty + populated):
+                assert combined == populated
+        summed = sum(
+            [populated, populated], MPCRunStats()
+        )
+        assert summed.rounds == 6
+        assert summed.congest_rounds == 12
+        assert summed.word_bits == 5

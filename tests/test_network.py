@@ -193,6 +193,21 @@ class TestMetering:
         assert (real + RunStats()).word_bits == 5
         assert (RunStats() + real).total_bits == 15
 
+    def test_empty_stats_are_an_additive_identity(self):
+        # Regression: an all-zero stats object must sum into a populated
+        # one even when its word_bits disagrees — it carries no words to
+        # misreport — adopting the populated side's word size either way.
+        real = RunStats(
+            rounds=2, messages=3, total_words=5, cut_words=1, word_bits=5
+        )
+        for empty in (RunStats(), RunStats(word_bits=8)):
+            assert real + empty == real
+            assert empty + real == real
+        summed = sum([real, real], RunStats(word_bits=8))
+        assert summed.rounds == 4
+        assert summed.word_bits == 5
+        assert summed.total_bits == 50
+
 
 class TestAdjacency:
     def test_star_hub_membership(self):

@@ -98,11 +98,59 @@ class TestEvaluateCell:
         )
         assert result.status == "timeout"
         assert "0.2" in result.error
+        assert result.warning is None
 
     def test_unknown_task_is_an_error_result(self):
         result = evaluate_cell(Cell(task="no-such-task"))
         assert result.status == "error"
         assert "no-such-task" in result.error
+
+    def test_timeout_off_main_thread_falls_back_with_warning(self):
+        # SIGALRM never fires off the main thread; the cell must still
+        # run (un-budgeted) and the degradation must be recorded, not
+        # silent.
+        import threading
+
+        box: list = []
+
+        def worker():
+            box.append(
+                evaluate_cell(
+                    Cell(task="selftest-ok", n=5, seed=7), timeout=30.0
+                )
+            )
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        (result,) = box
+        assert result.ok
+        assert result.payload == {"n": 5, "seed": 7, "signature": "ok-5"}
+        assert "not enforced" in result.warning
+        assert "main thread" in result.warning
+
+    def test_timeout_without_sigalrm_falls_back_with_warning(
+        self, monkeypatch
+    ):
+        # Platforms without SIGALRM (Windows) must degrade the same way
+        # instead of raising on the missing symbol.
+        import signal as signal_module
+
+        monkeypatch.delattr(signal_module, "SIGALRM")
+        result = evaluate_cell(
+            Cell(task="selftest-ok", n=5, seed=7), timeout=30.0
+        )
+        assert result.ok
+        assert "SIGALRM" in result.warning
+        assert "un-budgeted" in result.warning
+
+    def test_warning_is_timing_scoped_in_json(self):
+        # The warning is platform-dependent, like seconds/max_rss_kb, so
+        # it must stay out of the deterministic parity surface.
+        result = evaluate_cell(Cell(task="selftest-ok", n=5, seed=7))
+        assert "warning" in result.to_json(include_timing=True)
+        assert "warning" not in result.to_json(include_timing=False)
+        assert result.warning is None
 
 
 class TestDeterminism:
