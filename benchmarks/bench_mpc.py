@@ -31,8 +31,13 @@ Usage::
 
 ``--check`` exits nonzero unless parity holds on every point, the probe
 cell fails with ``MemoryBudgetExceeded``, machine counts strictly
-increase as alpha decreases on every (task, n) point, and shuffle counts
-strictly decrease as ``k`` grows on every compression point.
+increase as alpha decreases on every (task, n) point, shuffle counts
+strictly decrease as ``k`` grows on every compression point, and the
+``compress="auto"`` cell never uses more shuffles than the best fixed
+window — in this run and against the committed ``BENCH_mpc.json``
+curves.  Metrics documents embedded by the compression cells are
+schema-validated and written to ``METRICS_mpc.json``; their
+deterministic sections must be byte-identical across the ``k`` axis.
 """
 
 from __future__ import annotations
@@ -160,27 +165,44 @@ def run_compression_bench(quick: bool):
     """Shuffle-count-vs-k curves off the ``mpc-compression`` grid.
 
     Cells at one (task, n, alpha) point differ only in the ``compress``
-    window; each runs its own engine-v2 shadow, and the CONGEST-level
-    payload (cover signature, every ``RunStats`` field) must additionally
-    be byte-identical *across* the k-axis — compression may only move the
-    MPC ledger.
+    window — the fixed :data:`~repro.sweep.grids.MPC_COMPRESSION_KS` axis
+    plus one adaptive ``compress="auto"`` cell; each runs its own
+    engine-v2 shadow, and the CONGEST-level payload (cover signature,
+    every ``RunStats`` field) must additionally be byte-identical *across*
+    the whole axis — compression may only move the MPC ledger.  The same
+    invariance is asserted on the embedded metrics documents: the
+    deterministic section (and its sha256) must not move with ``k``,
+    while the variant section carries the per-``k`` shuffle ledger.
+
+    Returns ``(rows, points, metrics_docs)`` where ``metrics_docs`` maps
+    cell keys to schema-validated metrics documents.
     """
+    from repro.metrics import validate_metrics
+
     grid = mpc_compression_grid(quick=quick)
     sweep = run_sweep(grid, jobs=1)
     sweep.ok_payloads()
 
     by_point: dict[tuple[str, int, float], list] = {}
+    metrics_docs: dict[str, dict] = {}
     for result in sweep:
         cell = result.cell
         key = (cell.task, cell.n, cell.param("alpha"))
         by_point.setdefault(key, []).append(
-            (int(cell.param("compress", 1)), result)
+            (cell.param("compress", 1), result)
         )
+        doc = result.payload.get("metrics")
+        if doc is not None:
+            validate_metrics(doc)
+            metrics_docs[cell.key] = doc
 
     rows = []
     points = []
     for (task, n, alpha), runs in sorted(by_point.items()):
-        runs.sort()
+        # Fixed windows in k order, the adaptive cell last — "auto" must
+        # not end up inside an integer sort.
+        fixed = sorted(r for r in runs if r[0] != "auto")
+        runs = fixed + [r for r in runs if r[0] == "auto"]
         baseline = runs[0][1].payload
         for k, result in runs:
             payload = result.payload
@@ -195,23 +217,37 @@ def run_compression_bench(quick: bool):
                     f"{task} n={n} alpha={alpha} k={k}: cell ran without "
                     f"its engine-v2 shadow check"
                 )
+            base_metrics = baseline.get("metrics")
+            cell_metrics = payload.get("metrics")
+            if base_metrics is not None and cell_metrics is not None:
+                if (
+                    cell_metrics["deterministic_sha256"]
+                    != base_metrics["deterministic_sha256"]
+                    or cell_metrics["deterministic"]
+                    != base_metrics["deterministic"]
+                ):
+                    raise AssertionError(
+                        f"compression changed the deterministic metrics "
+                        f"section on {task} n={n} alpha={alpha} k={k}"
+                    )
             shuffle = payload["mpc"]["shuffle"]
             congest_rounds = shuffle["congest_rounds"]
             shuffles = shuffle["shuffles"]
-            points.append(
-                {
-                    "task": task,
-                    "n": n,
-                    "alpha": alpha,
-                    "k": k,
-                    "shuffles": shuffles,
-                    "congest_rounds": congest_rounds,
-                    "rounds_per_shuffle": congest_rounds / shuffles,
-                    "shuffle_words": shuffle["total_words"],
-                    "max_machine_load": shuffle["max_in_words"],
-                    "seconds": result.seconds,
-                }
-            )
+            point = {
+                "task": task,
+                "n": n,
+                "alpha": alpha,
+                "k": k,
+                "shuffles": shuffles,
+                "congest_rounds": congest_rounds,
+                "rounds_per_shuffle": congest_rounds / shuffles,
+                "shuffle_words": shuffle["total_words"],
+                "max_machine_load": shuffle["max_in_words"],
+                "seconds": result.seconds,
+            }
+            if k == "auto":
+                point["auto"] = payload["mpc"]["auto"]
+            points.append(point)
             rows.append(
                 (
                     task,
@@ -225,7 +261,7 @@ def run_compression_bench(quick: bool):
                     shuffle["max_in_words"],
                 )
             )
-    return rows, points
+    return rows, points, metrics_docs
 
 
 def run_matching_bench(quick: bool):
@@ -312,7 +348,7 @@ def main(argv=None) -> int:
     print("\nparity: signature + RunStats identical to engine v2 on every "
           "(task, n, alpha) cell")
 
-    comp_rows, comp_points = run_compression_bench(args.quick)
+    comp_rows, comp_points, metrics_docs = run_compression_bench(args.quick)
     print()
     print_table(
         "Round compression: shuffles vs k (CONGEST ledger invariant)",
@@ -322,6 +358,23 @@ def main(argv=None) -> int:
         ],
         comp_rows,
     )
+    metrics_path = Path(args.json).parent / "METRICS_mpc.json"
+    metrics_path.write_text(
+        json.dumps(
+            {
+                "schema": "repro.metrics.sweep/1",
+                "grid": "mpc-compression-quick"
+                if args.quick
+                else "mpc-compression",
+                "cells": metrics_docs,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(f"wrote {metrics_path} ({len(metrics_docs)} metrics documents, "
+          f"deterministic sections invariant across k)")
 
     match_rows, match_points = run_matching_bench(args.quick)
     print_table(
@@ -338,6 +391,15 @@ def main(argv=None) -> int:
           f"captured={probe['captured']}")
     if probe["last_line"]:
         print(f"  {probe['last_line']}")
+
+    # Committed trend baseline, read before this run overwrites the file.
+    baseline_compression = []
+    try:
+        baseline_compression = json.loads(Path(args.json).read_text()).get(
+            "compression", []
+        )
+    except (OSError, ValueError):
+        pass
 
     payload = {
         "grid": "mpc-vs-congest-quick" if args.quick else "mpc-vs-congest",
@@ -376,10 +438,15 @@ def main(argv=None) -> int:
                     f"strictly decrease as alpha grows"
                 )
         comp_by_point: dict[tuple[str, int, float], list[tuple[int, int]]] = {}
+        auto_by_point: dict[tuple[str, int, float], int] = {}
         for p in comp_points:
-            comp_by_point.setdefault((p["task"], p["n"], p["alpha"]), []).append(
-                (p["k"], p["shuffles"])
-            )
+            key = (p["task"], p["n"], p["alpha"])
+            if p["k"] == "auto":
+                auto_by_point[key] = p["shuffles"]
+            else:
+                comp_by_point.setdefault(key, []).append(
+                    (p["k"], p["shuffles"])
+                )
         for (task, n, alpha), pairs in sorted(comp_by_point.items()):
             pairs.sort()
             shuffle_counts = [shuffles for _, shuffles in pairs]
@@ -390,13 +457,43 @@ def main(argv=None) -> int:
                     f"{task} n={n} alpha={alpha}: shuffle counts "
                     f"{shuffle_counts} do not strictly decrease as k grows"
                 )
+            # The adaptive controller must never lose to the best fixed
+            # window on its own point...
+            best_fixed = min(shuffle_counts)
+            auto = auto_by_point.get((task, n, alpha))
+            if auto is None:
+                failures.append(
+                    f"{task} n={n} alpha={alpha}: no compress=auto cell in "
+                    f"the compression grid"
+                )
+            elif auto > best_fixed:
+                failures.append(
+                    f"{task} n={n} alpha={alpha}: auto compression used "
+                    f"{auto} shuffles, worse than the best fixed window "
+                    f"({best_fixed})"
+                )
+            # ...and must also hold the trend against the *committed*
+            # fixed-k curves, so a controller regression cannot hide
+            # behind a same-run planner regression.
+            committed = [
+                p["shuffles"]
+                for p in baseline_compression
+                if (p["task"], p["n"], p["alpha"]) == (task, n, alpha)
+                and p["k"] != "auto"
+            ]
+            if auto is not None and committed and auto > min(committed):
+                failures.append(
+                    f"{task} n={n} alpha={alpha}: auto compression used "
+                    f"{auto} shuffles, worse than the committed fixed-k "
+                    f"best ({min(committed)}) in {args.json}"
+                )
     for failure in failures:
         print(f"CHECK FAILED: {failure}")
     if failures:
         return 1
     if args.check:
-        print("check passed: parity, budget probe, machine scaling and "
-              "shuffle compression all hold")
+        print("check passed: parity, budget probe, machine scaling, shuffle "
+              "compression and the adaptive-k trend all hold")
     return 0
 
 

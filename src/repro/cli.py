@@ -91,23 +91,46 @@ def _print_mpc_ledger(payload: dict) -> None:
         f"shuffle_words={shuffle['total_words']} "
         f"max_machine_load={shuffle['max_in_words']}"
     )
-    if payload.get("compress", 1) > 1:
+    # compress is an int window or the string "auto" — compare carefully.
+    compress = payload.get("compress", 1)
+    if compress == "auto" or compress > 1:
         line += (
             f"  compression: {shuffle['congest_rounds']} CONGEST rounds in "
-            f"{shuffle['shuffles']} shuffles (-k {payload['compress']})"
+            f"{shuffle['shuffles']} shuffles (-k {compress})"
         )
+    auto = payload.get("auto")
+    if auto is not None:
+        choices = " ".join(
+            f"k={k}:{count}" for k, count in auto["window_choices"].items()
+        )
+        line += f"  auto[{choices or 'no windows'} skips={auto['skips']}]"
     print(line)
+
+
+def _compress_value(text: str):
+    """argparse type for --compress/-k: an integer window or ``auto``."""
+    text = text.strip()
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1 or 'auto', got {text!r}"
+        ) from None
 
 
 def _check_compress(args: argparse.Namespace) -> int | None:
     """Validate --compress/-k; returns an exit code on error, else None."""
-    if args.compress < 1:
+    if args.compress != "auto" and args.compress < 1:
         print(
             f"error: --compress must be >= 1, got {args.compress}",
             file=sys.stderr,
         )
         return 2
-    if args.compress > 1 and args.model != "mpc":
+    if (
+        args.compress == "auto" or args.compress > 1
+    ) and args.model != "mpc":
         print(
             "error: --compress batches CONGEST rounds per MPC shuffle; it "
             "requires --model mpc",
@@ -117,16 +140,56 @@ def _check_compress(args: argparse.Namespace) -> int | None:
     return None
 
 
+def _make_collector(args: argparse.Namespace, command: str):
+    """Build the --metrics collector, or an exit code on a bad combination.
+
+    Returns ``(collector, None)`` — collector ``None`` when --metrics was
+    not requested — or ``(None, 2)`` for models whose instrumentation
+    streams the collector cannot observe.
+    """
+    if args.metrics is None:
+        return None, None
+    if args.model not in ("congest", "mpc"):
+        print(
+            "error: --metrics attaches to the CONGEST/MPC instrumentation "
+            "streams; it requires --model congest or --model mpc",
+            file=sys.stderr,
+        )
+        return None, 2
+    from repro.metrics import MetricsCollector
+
+    label = f"{command}/{args.graph}/n={args.n}/seed={args.seed}"
+    return MetricsCollector(label=label), None
+
+
+def _write_metrics(collector, path: str) -> None:
+    out = collector.write(path)
+    print(
+        f"metrics: wrote {out} "
+        f"(deterministic sha256 {collector.deterministic_sha256()})"
+    )
+
+
 def _cmd_mvc(args: argparse.Namespace) -> int:
     code = _check_compress(args)
+    if code is not None:
+        return code
+    collector, code = _make_collector(args, "mvc")
     if code is not None:
         return code
     graph = build_graph(args.graph, args.n, seed=args.seed)
     sq = square(graph)
     if args.model == "congest":
-        result = approx_mvc_square(
-            graph, args.eps, seed=args.seed, engine=args.engine
-        )
+        if collector is not None:
+            from repro.congest.network import CongestNetwork
+
+            network = CongestNetwork(graph, seed=args.seed, engine=args.engine)
+            collector.attach(network)
+            result = approx_mvc_square(graph, args.eps, network=network)
+        else:
+            result = approx_mvc_square(
+                graph, args.eps, seed=args.seed, engine=args.engine
+            )
         cover, rounds = result.cover, result.stats.rounds
     elif args.model == "mpc":
         if _reject_engine_for_mpc(args):
@@ -135,7 +198,7 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
 
         result, mpc_payload = solve_mvc_mpc(
             graph, args.eps, alpha=args.alpha, seed=args.seed,
-            check_parity=True, compress=args.compress,
+            check_parity=True, compress=args.compress, collector=collector,
         )
         cover, rounds = result.cover, result.stats.rounds
         _print_mpc_ledger(mpc_payload)
@@ -166,11 +229,16 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
     if args.exact:
         opt = len(minimum_vertex_cover(sq))
         print(f"exact optimum: {opt}  ratio: {len(cover) / opt:.3f}")
+    if collector is not None:
+        _write_metrics(collector, args.metrics)
     return 0
 
 
 def _cmd_mds(args: argparse.Namespace) -> int:
     code = _check_compress(args)
+    if code is not None:
+        return code
+    collector, code = _make_collector(args, "mds")
     if code is not None:
         return code
     graph = build_graph(args.graph, args.n, seed=args.seed)
@@ -182,9 +250,15 @@ def _cmd_mds(args: argparse.Namespace) -> int:
 
         result, mpc_payload = solve_mds_mpc(
             graph, alpha=args.alpha, seed=args.seed, check_parity=True,
-            compress=args.compress,
+            compress=args.compress, collector=collector,
         )
         _print_mpc_ledger(mpc_payload)
+    elif collector is not None:
+        from repro.congest.network import CongestNetwork
+
+        network = CongestNetwork(graph, seed=args.seed, engine=args.engine)
+        collector.attach(network)
+        result = approx_mds_square(graph, network=network)
     else:
         result = approx_mds_square(graph, seed=args.seed, engine=args.engine)
     assert_dominating_set(sq, result.cover)
@@ -195,6 +269,8 @@ def _cmd_mds(args: argparse.Namespace) -> int:
     if args.exact:
         opt = len(minimum_dominating_set(sq))
         print(f"exact optimum: {opt}  ratio: {len(result.cover) / opt:.3f}")
+    if collector is not None:
+        _write_metrics(collector, args.metrics)
     return 0
 
 
@@ -230,7 +306,7 @@ def _verify_grid(family: str, k: int, samples: int) -> GridSpec:
 
 
 def _mpc_verify_grid(
-    n: int, alpha: float, samples: int, compress: int = 1
+    n: int, alpha: float, samples: int, compress: int | str = 1
 ) -> GridSpec:
     """One round-compilation parity cell per sampled seed."""
     params: tuple[tuple[str, object], ...] = (
@@ -340,14 +416,14 @@ def _parse_alphas(text: str) -> tuple[float, ...]:
     )
 
 
-def _parse_compress(text: str) -> tuple[int, ...]:
-    """``--compress`` for sweeps: ints >= 1, deduped, order kept."""
+def _parse_compress(text: str) -> tuple[int | str, ...]:
+    """``--compress`` for sweeps: ints >= 1 and/or ``auto``, deduped."""
     return _parse_axis(
         text,
         "--compress",
-        int,
-        "an integer",
-        lambda value: value >= 1,
+        lambda part: "auto" if part == "auto" else int(part),
+        "an integer or 'auto'",
+        lambda value: value == "auto" or value >= 1,
         ">= 1",
     )
 
@@ -379,11 +455,21 @@ def _sweep_grid_from_args(args: argparse.Namespace) -> GridSpec:
         alphas = _parse_alphas(args.alphas)
     elif args.model == "mpc":
         alphas = (0.8,)
-    compressions: tuple[int, ...] = (1,)
+    compressions: tuple[int | str, ...] = (1,)
     if args.compress:
         if args.model != "mpc":
             raise SystemExit("--compress requires --model mpc")
         compressions = _parse_compress(args.compress) or (1,)
+    metrics_param: tuple[tuple[str, object], ...] = ()
+    if args.metrics is not None:
+        from repro.sweep.tasks import METRICS_TASKS
+
+        if args.task not in METRICS_TASKS:
+            raise SystemExit(
+                f"sweep --metrics requires a metrics-capable task "
+                f"({', '.join(sorted(METRICS_TASKS))}), got {args.task!r}"
+            )
+        metrics_param = (("metrics", True),)
     engines: tuple[str | None, ...] = (None,)
     if args.engines:
         if args.model == "mpc":
@@ -402,7 +488,7 @@ def _sweep_grid_from_args(args: argparse.Namespace) -> GridSpec:
     cells = []
     for alpha in alphas or (None,):
         for compress in compressions:
-            params: tuple[tuple[str, object], ...] = ()
+            params = metrics_param
             if alpha is not None:
                 params += (("alpha", alpha),)
             if compress != 1:
@@ -455,10 +541,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"aggregate[word_bits={bits}]: rounds={stats.rounds} "
                   f"messages={stats.messages} words={stats.total_words} "
                   f"bits={stats.total_bits}")
+    if args.metrics is not None:
+        from repro.metrics import validate_metrics
+
+        documents = {}
+        for result in sweep:
+            doc = (result.payload or {}).get("metrics")
+            if result.ok and doc is not None:
+                validate_metrics(doc)
+                documents[result.cell.key] = doc
+        Path(args.metrics).write_text(
+            json.dumps(
+                {
+                    "schema": "repro.metrics.sweep/1",
+                    "grid": grid.name,
+                    "cells": documents,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        print(f"metrics: wrote {args.metrics} "
+              f"({len(documents)} cell documents)")
     counts = data["counts"]
     print(f"cells: {counts['ok']} ok, {counts['error']} error, "
           f"{counts['timeout']} timeout in {sweep.wall_seconds:.2f}s "
           f"(jobs={args.jobs})")
+    warned = sum(1 for result in sweep if result.warning)
+    if warned:
+        # Degradations must not hide in the table: repeat them here,
+        # where scripts scraping the summary will see them.
+        print(f"warnings: {warned} cell(s) ran degraded "
+              f"(see the detail column)")
     print(f"deterministic sha256: {digest}")
     return 1 if sweep.failures else 0
 
@@ -498,11 +612,19 @@ def build_parser() -> argparse.ArgumentParser:
     mvc.add_argument(
         "--compress",
         "-k",
-        type=int,
+        type=_compress_value,
         default=1,
         help="mpc model only: batch up to k CONGEST rounds per shuffle "
         "(adaptive; falls back to 1 where the k-hop frontier exceeds the "
-        "window budget)",
+        "window budget); 'auto' lets a peak-hold load estimator choose "
+        "each window's k",
+    )
+    mvc.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write a structured metrics document (per-phase series plus "
+        "the shuffle ledger) to PATH; congest and mpc models only",
     )
     mvc.add_argument("--exact", action="store_true")
     mvc.set_defaults(func=_cmd_mvc)
@@ -534,11 +656,19 @@ def build_parser() -> argparse.ArgumentParser:
     mds.add_argument(
         "--compress",
         "-k",
-        type=int,
+        type=_compress_value,
         default=1,
         help="mpc model only: batch up to k CONGEST rounds per shuffle "
         "(adaptive; falls back to 1 where the k-hop frontier exceeds the "
-        "window budget)",
+        "window budget); 'auto' lets a peak-hold load estimator choose "
+        "each window's k",
+    )
+    mds.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write a structured metrics document (per-phase series plus "
+        "the shuffle ledger) to PATH; congest and mpc models only",
     )
     mds.add_argument("--exact", action="store_true")
     mds.set_defaults(func=_cmd_mds)
@@ -577,10 +707,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument(
         "--compress",
-        type=int,
+        type=_compress_value,
         default=1,
         help="mpc model only: batch up to k CONGEST rounds per shuffle in "
-        "the parity cells (no -k short form here; --k is the family size)",
+        "the parity cells, or 'auto' (no -k short form here; --k is the "
+        "family size)",
     )
     verify.add_argument(
         "--jobs",
@@ -639,8 +770,15 @@ def build_parser() -> argparse.ArgumentParser:
         "-k",
         default="",
         help="comma-separated shuffle-compression windows for --model mpc "
-        "(one grid expansion per k; duplicates dropped, values >= 1; "
-        "default 1)",
+        "(one grid expansion per k; duplicates dropped, values >= 1 or "
+        "'auto'; default 1)",
+    )
+    sweep.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="collect per-cell metrics documents (metrics-capable tasks "
+        "only) and write them as one JSON file",
     )
     sweep.add_argument("--replicates", type=int, default=1)
     sweep.add_argument("--base-seed", type=int, default=0)

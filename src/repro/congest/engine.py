@@ -158,12 +158,14 @@ def resolve_engine_name(name: str | None = None) -> str:
 
 
 def _emit_round_event(
-    hook, round_index: int, messages: int, words: int, awake: int, cut_words: int
+    hook, round_index: int, messages: int, words: int, awake: int,
+    cut_words: int, label: str | None = None,
 ) -> None:
     """Deliver one RoundEvent to ``hook`` (no-op when ``hook`` is None).
 
     The single construction point for both engines and the spin loop, so
-    the event shape cannot drift between v1 and v2.
+    the event shape cannot drift between v1 and v2.  ``label`` is the
+    run-level stage label, stamped as ``RoundEvent.stage_label``.
     """
     if hook is None:
         return
@@ -176,6 +178,7 @@ def _emit_round_event(
             words=words,
             awake=awake,
             cut_words=cut_words,
+            stage_label=label,
         )
     )
 
@@ -203,6 +206,7 @@ class Engine:
         max_rounds: int | None = None,
         trace: bool = False,
         on_round=None,
+        label: str | None = None,
     ) -> "RunResult":
         raise NotImplementedError
 
@@ -254,6 +258,7 @@ class SynchronousEngine(Engine):
         max_rounds: int | None = None,
         trace: bool = False,
         on_round=None,
+        label: str | None = None,
     ) -> "RunResult":
         from repro.congest.network import RoundRecord
 
@@ -276,7 +281,7 @@ class SynchronousEngine(Engine):
             )
         _emit_round_event(
             hook, 0, stats.messages, stats.total_words, len(algorithms),
-            stats.cut_words,
+            stats.cut_words, label,
         )
 
         while not all(alg.done for alg in algorithms):
@@ -310,7 +315,7 @@ class SynchronousEngine(Engine):
             _emit_round_event(
                 hook, stats.rounds, stats.messages - before_messages,
                 stats.total_words - before_words, awake,
-                stats.cut_words - before_cut,
+                stats.cut_words - before_cut, label,
             )
 
         return self._result(algorithms, stats, timeline)
@@ -406,6 +411,7 @@ class ActivityEngine(Engine):
         max_rounds: int | None = None,
         trace: bool = False,
         on_round=None,
+        label: str | None = None,
     ) -> "RunResult":
         from repro.congest.network import RoundRecord
 
@@ -433,7 +439,7 @@ class ActivityEngine(Engine):
             )
         _emit_round_event(
             hook, 0, stats.messages, stats.total_words, len(algorithms),
-            stats.cut_words,
+            stats.cut_words, label,
         )
 
         while scheduler.live:
@@ -473,15 +479,18 @@ class ActivityEngine(Engine):
             _emit_round_event(
                 hook, stats.rounds, stats.messages - before_messages,
                 stats.total_words - before_words, awake,
-                stats.cut_words - before_cut,
+                stats.cut_words - before_cut, label,
             )
             if not runnable and not ring.has_pending():
-                self._spin_to_limit(stats, timeline, max_rounds, scheduler, hook)
+                self._spin_to_limit(
+                    stats, timeline, max_rounds, scheduler, hook, label
+                )
 
         return self._result(algorithms, stats, timeline)
 
     def _spin_to_limit(
-        self, stats, timeline, max_rounds: int, scheduler, hook=None
+        self, stats, timeline, max_rounds: int, scheduler, hook=None,
+        label: str | None = None,
     ) -> None:
         """Every live node sleeps and no traffic is in flight: nothing can
         ever happen again.  The reference engine would keep running empty
@@ -504,7 +513,7 @@ class ActivityEngine(Engine):
                         active_nodes=scheduler.live,
                     )
                 )
-            _emit_round_event(hook, stats.rounds, 0, 0, 0, 0)
+            _emit_round_event(hook, stats.rounds, 0, 0, 0, 0, label)
 
     def _collect(
         self,

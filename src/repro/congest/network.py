@@ -136,6 +136,13 @@ class RoundEvent:
     is where the engines legitimately differ — v1 invokes every live node,
     v2 only traffic- or self-woken ones — so it is exactly the quantity an
     activity-scheduling experiment wants to see.
+
+    ``stage`` and ``stage_label`` attribute the event to the solver stage
+    that produced it: :func:`run_stages` stamps the stage index on every
+    forwarded event, and a ``label=`` passed to ``run`` (directly or via
+    ``run_stages(stage_labels=...)``) travels as ``stage_label``.  Both
+    default to ``None`` for unlabelled runs; neither is part of the
+    engine parity surface (they are attribution, not metering).
     """
 
     round_index: int
@@ -143,6 +150,8 @@ class RoundEvent:
     words: int
     awake: int
     cut_words: int = 0
+    stage: int | None = None
+    stage_label: str | None = None
 
 
 @dataclass
@@ -307,6 +316,7 @@ class CongestNetwork:
         max_rounds: int | None = None,
         trace: bool = False,
         on_round: Callable[[RoundEvent], None] | None = None,
+        label: str | None = None,
     ) -> RunResult:
         """Run one algorithm instance per node until all finish.
 
@@ -317,6 +327,9 @@ class CongestNetwork:
         (round 0 records the ``on_start`` sends).  ``on_round`` receives a
         :class:`RoundEvent` as each round ends (round 0 included),
         overriding the network-level default callback for this run.
+        ``label`` stamps every emitted event's ``stage_label`` so hook
+        consumers (the metrics collector) can attribute rounds to a named
+        solver stage; it does not affect execution or metering.
 
         The round loop is executed by the engine chosen at construction
         time (see :mod:`repro.congest.engine`); every engine produces
@@ -328,6 +341,7 @@ class CongestNetwork:
             max_rounds=max_rounds,
             trace=trace,
             on_round=on_round,
+            label=label,
         )
 
     def _collect(
@@ -367,6 +381,9 @@ def run_stages(
     inputs: Mapping[Any, Any] | None = None,
     max_rounds: int | None = None,
     reset_state: bool = True,
+    trace: bool = False,
+    on_round: Callable[[RoundEvent], None] | None = None,
+    stage_labels: Iterable[str | None] | None = None,
 ) -> tuple[RunResult, list[RunResult]]:
     """Run ``stages`` back-to-back, summing round/message statistics.
 
@@ -374,16 +391,40 @@ def run_stages(
     results for the next (the paper's phases communicate the same way: the
     state a node holds when one phase ends is its input to the next).
 
+    ``trace`` and ``on_round`` are forwarded to every stage's
+    ``network.run`` (so per-stage traces land on the per-stage results and
+    a single hook spans the whole pipeline); each forwarded event is
+    stamped with the zero-based stage index (``event.stage``) before
+    delivery.  ``on_round=None`` falls back to the network-level default
+    hook, which gets the same stage stamping.  ``stage_labels`` optionally
+    names the stages (passed as ``label=`` per run, surfacing as
+    ``event.stage_label``); extra labels are ignored, missing ones are
+    ``None``.
+
     Returns ``(combined, per_stage)`` where ``combined`` holds the outputs of
     the final stage and the summed stats.
     """
     if reset_state:
         network.reset_state()
+    labels = list(stage_labels) if stage_labels is not None else []
+    hook = on_round if on_round is not None else network.on_round
     per_stage: list[RunResult] = []
     total = RunStats(word_bits=network.word_bits)
     last: RunResult | None = None
-    for factory in stages:
-        last = network.run(factory, inputs=inputs, max_rounds=max_rounds)
+    for index, factory in enumerate(stages):
+        stage_hook = None
+        if hook is not None:
+            def stage_hook(event, _index=index, _hook=hook):
+                event.stage = _index
+                _hook(event)
+        last = network.run(
+            factory,
+            inputs=inputs,
+            max_rounds=max_rounds,
+            trace=trace,
+            on_round=stage_hook,
+            label=labels[index] if index < len(labels) else None,
+        )
         per_stage.append(last)
         total = total + last.stats
     if last is None:

@@ -376,7 +376,7 @@ def approx_mds_square(
     network.reset_state()
     total = RunStats(word_bits=network.word_bits)
 
-    bfs = network.run(lambda view: BfsTreeAlgorithm(view, n - 1))
+    bfs = network.run(lambda view: BfsTreeAlgorithm(view, n - 1), label="bfs")
     total = total + bfs.stats
     for node_id in network.ids():
         network.node_state[node_id]["in_U"] = True
@@ -386,16 +386,18 @@ def approx_mds_square(
     cleanup: set[int] = set()
     while True:
         phases += 1
-        for stage in (
-            lambda view: EstimationStage(view, samples),
-            RhoFloodAlgorithm,
-            RankVoteAlgorithm,
-            lambda view: VoteEstimationAlgorithm(view, samples),
-            WinnerAlgorithm,
+        for stage_label, stage in (
+            ("estimate", lambda view: EstimationStage(view, samples)),
+            ("rho-flood", RhoFloodAlgorithm),
+            ("rank-vote", RankVoteAlgorithm),
+            ("vote-estimate", lambda view: VoteEstimationAlgorithm(view, samples)),
+            ("winner", WinnerAlgorithm),
         ):
-            result = network.run(stage)
+            result = network.run(stage, label=stage_label)
             total = total + result.stats
-        check = network.run(lambda view: GlobalOrAlgorithm(view, "in_U"))
+        check = network.run(
+            lambda view: GlobalOrAlgorithm(view, "in_U"), label="global-or"
+        )
         total = total + check.stats
         any_uncovered = next(iter(check.outputs.values()))
         if not any_uncovered:

@@ -276,16 +276,17 @@ def approx_mvc_square(
 
     # Phase I.
     phase_one = network.run(
-        lambda view: PhaseOneAlgorithm(view, threshold=l, iterations=iterations)
+        lambda view: PhaseOneAlgorithm(view, threshold=l, iterations=iterations),
+        label="phase1",
     )
     total = total + phase_one.stats
 
     # Phase II: BFS tree, upcast F, local solve, broadcast solution.
     leader = n - 1
-    bfs = network.run(lambda view: BfsTreeAlgorithm(view, leader))
+    bfs = network.run(lambda view: BfsTreeAlgorithm(view, leader), label="bfs")
     total = total + bfs.stats
 
-    gather = network.run(lambda view: ConvergecastAlgorithm(view))
+    gather = network.run(lambda view: ConvergecastAlgorithm(view), label="upcast")
     total = total + gather.stats
     tokens = gather.by_id[leader]
 
@@ -297,7 +298,7 @@ def approx_mvc_square(
         raise ValueError(f"local solver returned foreign vertices: {unknown}")
 
     network.node_state[leader]["bcast_tokens"] = [(v,) for v in sorted(r_star)]
-    spread = network.run(lambda view: BroadcastAlgorithm(view))
+    spread = network.run(lambda view: BroadcastAlgorithm(view), label="broadcast")
     total = total + spread.stats
 
     s_vertices = {

@@ -1,0 +1,22 @@
+"""The metrics plane: structured telemetry on the instrumentation streams.
+
+See :mod:`repro.metrics.collector` for the collector and the
+deterministic/variant schema contract, and :mod:`repro.metrics.adaptive`
+for the peak-hold estimator behind ``compress="auto"``.
+"""
+
+from repro.metrics.adaptive import PeakHoldEstimator
+from repro.metrics.collector import (
+    SCHEMA,
+    MetricsCollector,
+    deterministic_sha256,
+    validate_metrics,
+)
+
+__all__ = [
+    "SCHEMA",
+    "MetricsCollector",
+    "PeakHoldEstimator",
+    "deterministic_sha256",
+    "validate_metrics",
+]

@@ -1,0 +1,97 @@
+"""Peak-hold load estimation for adaptive shuffle compression.
+
+``compress="auto"`` asks the MPC round-compiler to choose each window's
+compression length itself, up to
+:data:`~repro.mpc.compile_congest.AUTO_COMPRESS_CAP`.  The window planner
+already finds the largest feasible window per boundary; what it cannot
+see is whether *probing* is worth doing at all — on a frontier that is
+persistently several times over budget (the forced-fallback regime),
+every probe re-counts loads only to return the classical ``k = 1`` path.
+
+:class:`PeakHoldEstimator` is that memory.  It observes the smallest
+window's (``k = 2``) frontier-load fraction each planned window and holds
+the running peak with exponential decay — the peak-hold detector of audio
+metering, applied to frontier loads.  While the held peak exceeds the
+skip threshold the planner short-circuits straight to ``k = 1``; each
+skipped window decays the peak, so probing resumes after a bounded run of
+skips and a workload whose frontier shrinks (nodes finishing, messages
+thinning) is re-detected.  Everything here is derived from deterministic
+word counts, so the estimator's ledger is reproducible run to run.
+"""
+
+from __future__ import annotations
+
+#: Load fractions above this keep planning enabled: skipping only pays
+#: when even the smallest window is far over budget, and a conservative
+#: threshold guarantees the estimator never costs shuffles on workloads
+#: that are merely near the budget line.
+DEFAULT_SKIP_THRESHOLD = 4.0
+
+#: Per-skip (and per-observation) decay of the held peak; at the default
+#: threshold a peak of fraction ``p`` allows at most
+#: ``log(threshold / p) / log(decay)`` consecutive skips.
+DEFAULT_DECAY = 0.5
+
+
+class PeakHoldEstimator:
+    """Hold the peak observed frontier-load fraction, with decay.
+
+    ``observe(fraction)`` folds one measured load fraction (worst
+    machine's frontier words over its window budget, at the smallest
+    candidate window) into the held peak; ``should_skip()`` says whether
+    the peak is currently above the skip threshold; ``window_skipped()``
+    decays the peak so a run of skips always terminates.  The choice
+    histogram (``record_choice``) is the auto-mode ledger surfaced by
+    ``mpc_summary()`` and the metrics collector.
+    """
+
+    def __init__(
+        self,
+        threshold: float = DEFAULT_SKIP_THRESHOLD,
+        decay: float = DEFAULT_DECAY,
+    ) -> None:
+        if threshold <= 1.0:
+            raise ValueError(
+                f"skip threshold must exceed 1.0 (a fraction of 1.0 is "
+                f"exactly at budget), got {threshold!r}"
+            )
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay!r}")
+        self.threshold = float(threshold)
+        self.decay = float(decay)
+        self.peak = 0.0
+        self.observations = 0
+        self.skips = 0
+        self.choices: dict[int, int] = {}
+
+    def observe(self, fraction: float) -> None:
+        """Fold one frontier-load fraction into the held, decaying peak."""
+        self.observations += 1
+        self.peak = max(float(fraction), self.peak * self.decay)
+
+    def should_skip(self) -> bool:
+        """Whether the held peak says probing windows is currently futile."""
+        return self.peak > self.threshold
+
+    def window_skipped(self) -> None:
+        """Account one skipped window and decay the peak toward re-probing."""
+        self.skips += 1
+        self.peak *= self.decay
+        self.choices[1] = self.choices.get(1, 0) + 1
+
+    def record_choice(self, k: int) -> None:
+        """Count one planned window of length ``k`` in the choice histogram."""
+        self.choices[int(k)] = self.choices.get(int(k), 0) + 1
+
+    def to_json(self) -> dict:
+        """JSON-ready auto-compression ledger (deterministic fields only)."""
+        return {
+            "policy": "peak-hold",
+            "threshold": self.threshold,
+            "decay": self.decay,
+            "observations": self.observations,
+            "skips": self.skips,
+            "window_choices": {
+                str(k): count for k, count in sorted(self.choices.items())
+            },
+        }

@@ -71,9 +71,29 @@ from repro.mpc.machine import Machine, memory_budget
 from repro.mpc.partition import partition_vertices
 from repro.mpc.runtime import ENVELOPE_WORDS, MPCRuntime
 
+#: Window cap used by ``compress="auto"``: the planner probes windows up
+#: to this length and the peak-hold estimator throttles the probing when
+#: frontiers are persistently far over budget.
+AUTO_COMPRESS_CAP = 8
+
 
 class ParityError(AssertionError):
     """The compiled run diverged from the engine-v2 shadow run."""
+
+
+def _tee(*hooks):
+    """Combine ``on_round`` hooks: deliver each event to every non-None one."""
+    live = [hook for hook in hooks if hook is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+
+    def fanout(event):
+        for hook in live:
+            hook(event)
+
+    return fanout
 
 
 class MPCCongestNetwork(CongestNetwork):
@@ -98,7 +118,7 @@ class MPCCongestNetwork(CongestNetwork):
         cut: Iterable[tuple[Any, Any]] | None = None,
         io_factor: float = 8.0,
         on_round: Callable[[RoundEvent], None] | None = None,
-        compress: int = 1,
+        compress: int | str = 1,
     ) -> None:
         # The base class insists on building an engine; pin "v1" so the
         # construction never depends on REPRO_ENGINE.  It is never used —
@@ -112,10 +132,24 @@ class MPCCongestNetwork(CongestNetwork):
             engine="v1",
             on_round=on_round,
         )
-        if compress < 1:
-            raise ValueError(f"compress must be >= 1, got {compress!r}")
+        self._estimator = None
+        if isinstance(compress, str):
+            if compress != "auto":
+                raise ValueError(
+                    f"compress must be an integer >= 1 or 'auto', "
+                    f"got {compress!r}"
+                )
+            from repro.metrics.adaptive import PeakHoldEstimator
+
+            self.compress: int | str = "auto"
+            self._max_compress = AUTO_COMPRESS_CAP
+            self._estimator = PeakHoldEstimator()
+        else:
+            if compress < 1:
+                raise ValueError(f"compress must be >= 1, got {compress!r}")
+            self.compress = int(compress)
+            self._max_compress = int(compress)
         self.alpha = alpha
-        self.compress = int(compress)
         self.budget_words = memory_budget(self.n, alpha)
         self.assignment = partition_vertices(graph, self.budget_words, seed=seed)
         self._host = self.assignment.machine_of
@@ -136,7 +170,11 @@ class MPCCongestNetwork(CongestNetwork):
         self._state_payloads: list[tuple[int, ...]] | None = None
         self._state_costs: list[int] | None = None
         self._watchers: dict[int, list[tuple[int, ...]]] = {}
-        self._state_loads: dict[int, tuple[list[int], list[int]]] = {}
+        # radius -> per-node tuple of machines at hop distance *exactly*
+        # that radius (radius 0 is the host).  The window planner walks
+        # candidate lengths incrementally through these deltas instead of
+        # re-counting the whole frontier per candidate.
+        self._delta_watchers: dict[int, list[tuple[int, ...]]] = {}
 
     @property
     def engine_name(self) -> str:
@@ -152,7 +190,7 @@ class MPCCongestNetwork(CongestNetwork):
 
     def mpc_summary(self) -> dict[str, Any]:
         """JSON-ready MPC ledger for sweep payloads and benchmarks."""
-        return {
+        summary = {
             "model": "mpc",
             "alpha": self.alpha,
             "compress": self.compress,
@@ -161,6 +199,11 @@ class MPCCongestNetwork(CongestNetwork):
             "partition_digest": self.partition_digest(),
             "shuffle": self.runtime.stats.to_json(),
         }
+        if self._estimator is not None:
+            auto = self._estimator.to_json()
+            auto["cap"] = self._max_compress
+            summary["auto"] = auto
+        return summary
 
     # -- compiled execution -------------------------------------------------
 
@@ -171,6 +214,7 @@ class MPCCongestNetwork(CongestNetwork):
         max_rounds: int | None = None,
         trace: bool = False,
         on_round: Callable[[RoundEvent], None] | None = None,
+        label: str | None = None,
     ) -> RunResult:
         """Execute one CONGEST algorithm, at most one shuffle per round.
 
@@ -198,7 +242,7 @@ class MPCCongestNetwork(CongestNetwork):
             self._collect(alg, alg.on_start(), pending, stats)
         self._emit(timeline, hook, 0, stats.messages, stats.total_words,
                    len(algorithms), stats.cut_words,
-                   sum(1 for a in algorithms if not a.done))
+                   sum(1 for a in algorithms if not a.done), label)
 
         while not all(alg.done for alg in algorithms):
             if stats.rounds >= max_rounds:
@@ -214,7 +258,7 @@ class MPCCongestNetwork(CongestNetwork):
                 inboxes = self._shuffle_round(pending, live_machines)
                 pending = {i: {} for i in range(self.n)}
                 self._execute_round(
-                    algorithms, inboxes, pending, stats, timeline, hook
+                    algorithms, inboxes, pending, stats, timeline, hook, label
                 )
                 continue
             self._prefetch_window(pending, window, live_machines)
@@ -231,7 +275,7 @@ class MPCCongestNetwork(CongestNetwork):
                 inboxes = self._local_inboxes(pending)
                 pending = {i: {} for i in range(self.n)}
                 self._execute_round(
-                    algorithms, inboxes, pending, stats, timeline, hook
+                    algorithms, inboxes, pending, stats, timeline, hook, label
                 )
                 executed += 1
             self.runtime.absorb_early_finish(window - executed)
@@ -245,7 +289,8 @@ class MPCCongestNetwork(CongestNetwork):
         )
 
     def _execute_round(
-        self, algorithms, inboxes, pending, stats, timeline, hook
+        self, algorithms, inboxes, pending, stats, timeline, hook,
+        label=None,
     ) -> None:
         """One CONGEST round: the reference engine's body, verbatim."""
         stats.rounds += 1
@@ -264,11 +309,12 @@ class MPCCongestNetwork(CongestNetwork):
             stats.messages - before_messages,
             stats.total_words - before_words,
             awake, stats.cut_words - before_cut,
-            sum(1 for a in algorithms if not a.done),
+            sum(1 for a in algorithms if not a.done), label,
         )
 
     def _emit(
-        self, timeline, hook, round_index, messages, words, awake, cut, alive
+        self, timeline, hook, round_index, messages, words, awake, cut,
+        alive, label=None,
     ) -> None:
         if timeline is not None:
             timeline.append(
@@ -287,6 +333,7 @@ class MPCCongestNetwork(CongestNetwork):
                     words=words,
                     awake=awake,
                     cut_words=cut,
+                    stage_label=label,
                 )
             )
 
@@ -327,15 +374,15 @@ class MPCCongestNetwork(CongestNetwork):
         """Hop distances and state-payload costs, built once per network.
 
         ``_hop_dist[mid]`` maps node id -> hop distance from machine
-        ``mid``'s hosted vertex set, computed to ``compress - 1`` hops by
-        multi-source BFS; nodes further away are absent.  The state
-        payload of node ``u`` is its id plus its adjacency tuple — exactly
-        the words hosting ``u`` costs — which is what a machine prefetches
-        to replay ``u`` locally during a compressed window.
+        ``mid``'s hosted vertex set, computed to the maximum window length
+        minus one hop by multi-source BFS; nodes further away are absent.
+        The state payload of node ``u`` is its id plus its adjacency tuple
+        — exactly the words hosting ``u`` costs — which is what a machine
+        prefetches to replay ``u`` locally during a compressed window.
         """
         if self._hop_dist is not None:
             return
-        max_radius = self.compress - 1
+        max_radius = self._max_compress - 1
         hop_dist: list[dict[int, int]] = []
         for mid in range(self.num_machines):
             dist = {
@@ -370,8 +417,7 @@ class MPCCongestNetwork(CongestNetwork):
         compressed window of ``r + 1`` rounds obliges ``mid`` to prefetch
         ``u``'s state and any message addressed to ``u``.  The host
         machine always watches its own nodes (distance 0) and is filtered
-        at use sites, where its copies are free.  Also caches the static
-        per-machine state-word loads at this radius.
+        at use sites, where its copies are free.
         """
         cached = self._watchers.get(radius)
         if cached is not None:
@@ -383,63 +429,123 @@ class MPCCongestNetwork(CongestNetwork):
                 if d <= radius:
                     watcher_lists[u].append(mid)
         cached = [tuple(machines) for machines in watcher_lists]
-        state_in = [0] * self.num_machines
-        state_out = [0] * self.num_machines
-        for u in range(self.n):
-            host = self._host[u]
-            cost = self._state_costs[u]
-            for mid in cached[u]:
-                if mid != host:
-                    state_in[mid] += cost
-                    state_out[host] += cost
         self._watchers[radius] = cached
-        self._state_loads[radius] = (state_in, state_out)
+        return cached
+
+    def _delta_watchers_at(self, radius: int) -> list[tuple[int, ...]]:
+        """Per node: the machines at hop distance *exactly* ``radius``.
+
+        The incremental complement of :meth:`_watchers_at`: the watcher
+        set at radius ``r`` is the disjoint union of the deltas at radii
+        ``0..r`` (radius 0 being the host machine), so the window planner
+        can extend a candidate's frontier loads to the next candidate by
+        applying one delta instead of re-counting every message against
+        every watcher.  Graph-static, cached per radius across windows.
+        """
+        cached = self._delta_watchers.get(radius)
+        if cached is not None:
+            return cached
+        self._ensure_frontier_tables()
+        if radius == 0:
+            cached = [(self._host[u],) for u in range(self.n)]
+        else:
+            delta_lists: list[list[int]] = [[] for _ in range(self.n)]
+            for mid, dist in enumerate(self._hop_dist):
+                for u, d in dist.items():
+                    if d == radius:
+                        delta_lists[u].append(mid)
+            cached = [tuple(machines) for machines in delta_lists]
+        self._delta_watchers[radius] = cached
         return cached
 
     def _plan_window(self, pending: dict[int, dict[int, Any]]) -> int:
         """Adaptively choose this window's length ``k``.
 
-        Returns the largest ``k <= compress`` such that every machine's
-        prefetched frontier — neighbor state within ``k - 1`` hops plus
-        every pending message addressed into that neighborhood, word-
-        counted exactly as :meth:`_prefetch_window` will ship them — fits
-        both sides (send and receive) of every machine's
+        Returns the largest ``k`` up to the window cap (``compress``, or
+        ``AUTO_COMPRESS_CAP`` for ``compress="auto"``) such that every
+        machine's prefetched frontier — neighbor state within ``k - 1``
+        hops plus every pending message addressed into that neighborhood,
+        word-counted exactly as :meth:`_prefetch_window` will ship them —
+        fits both sides (send and receive) of every machine's
         :meth:`~repro.mpc.machine.Machine.window_budget_words`.  Frontiers
         grow monotonically with ``k``, so the scan stops at the first
         radius that no longer fits; when even ``k = 2`` does not fit the
         window degrades to the classical one-round-one-shuffle path
         (``k = 1``) instead of raising.
+
+        The candidate scan is incremental: per-machine loads carry over
+        from candidate ``k`` to ``k + 1`` by applying the radius-``k``
+        delta watchers, so one window costs one pass over (messages x
+        watching machines) at the largest radius probed — not one pass
+        per candidate.  In auto mode the peak-hold estimator observes the
+        ``k = 2`` frontier-load fraction each planned window and
+        short-circuits planning to ``k = 1`` while the held peak says
+        even the smallest window is hopelessly over budget.
         """
-        if self.compress <= 1:
+        if self._max_compress <= 1:
+            return 1
+        estimator = self._estimator
+        if estimator is not None and estimator.should_skip():
+            estimator.window_skipped()
             return 1
         self._ensure_frontier_tables()
         budgets = [m.window_budget_words() for m in self.machines]
         host = self._host
-        messages: list[tuple[int, int, int]] = []
+        state_costs = self._state_costs
+        num_machines = self.num_machines
+        msgs_by_target: dict[int, list[tuple[int, int]]] = {}
         for target, senders in pending.items():
-            for sender, payload in senders.items():
-                cost = ENVELOPE_WORDS + payload_words(
-                    (sender, target, payload), self.word_bits
+            if not senders:
+                continue
+            msgs_by_target[target] = [
+                (
+                    host[sender],
+                    ENVELOPE_WORDS
+                    + payload_words((sender, target, payload), self.word_bits),
                 )
-                messages.append((sender, target, cost))
+                for sender, payload in senders.items()
+            ]
+        in_words = [0] * num_machines
+        out_words = [0] * num_machines
         best = 1
-        for k in range(2, self.compress + 1):
-            watchers = self._watchers_at(k - 1)
-            state_in, state_out = self._state_loads[k - 1]
-            in_words = list(state_in)
-            out_words = list(state_out)
-            for sender, target, cost in messages:
-                sender_host = host[sender]
-                for mid in watchers[target]:
-                    if mid != sender_host:
-                        in_words[mid] += cost
-                        out_words[sender_host] += cost
+        for k in range(2, self._max_compress + 1):
+            # Candidate k needs the frontier at radius k-1; extend the
+            # carried loads by the missing radii (0..k-1 for the first
+            # candidate, just k-1 afterwards).
+            radii = range(k) if k == 2 else (k - 1,)
+            for radius in radii:
+                delta = self._delta_watchers_at(radius)
+                if radius:
+                    for u in range(self.n):
+                        added = delta[u]
+                        if not added:
+                            continue
+                        cost = state_costs[u]
+                        u_host = host[u]
+                        for mid in added:
+                            in_words[mid] += cost
+                            out_words[u_host] += cost
+                for target, entries in msgs_by_target.items():
+                    for mid in delta[target]:
+                        for sender_host, cost in entries:
+                            if mid != sender_host:
+                                in_words[mid] += cost
+                                out_words[sender_host] += cost
+            if estimator is not None and k == 2:
+                estimator.observe(
+                    max(
+                        max(in_words[mid], out_words[mid]) / budgets[mid]
+                        for mid in range(num_machines)
+                    )
+                )
             if any(
                 in_words[mid] > budgets[mid] or out_words[mid] > budgets[mid]
-                for mid in range(self.num_machines)
+                for mid in range(num_machines)
             ):
                 break
             best = k
+        if estimator is not None:
+            estimator.record_choice(best)
         return best
 
     def _prefetch_window(
@@ -512,7 +618,8 @@ def solve_with_parity(
     alpha: float,
     seed: int = 0,
     io_factor: float = 8.0,
-    compress: int = 1,
+    compress: int | str = 1,
+    collector: Any | None = None,
 ) -> tuple[Any, MPCCongestNetwork, dict[str, Any]]:
     """Run ``solver`` on the MPC backend and on an engine-v2 shadow.
 
@@ -524,7 +631,9 @@ def solve_with_parity(
     by round, across all stages) — any divergence raises
     :class:`ParityError`.  ``compress`` only changes the MPC ledger (how
     many shuffles carry those rounds), so the parity claim is asserted
-    unchanged at every ``k``.  Returns ``(mpc_result, mpc_network,
+    unchanged at every ``k`` (``"auto"`` included).  A metrics
+    ``collector`` observes the MPC side's round and shuffle streams
+    alongside the parity check.  Returns ``(mpc_result, mpc_network,
     report)``.
     """
     ref_events: list[RoundEvent] = []
@@ -538,9 +647,14 @@ def solve_with_parity(
         alpha=alpha,
         seed=seed,
         io_factor=io_factor,
-        on_round=mpc_events.append,
+        on_round=_tee(
+            mpc_events.append,
+            collector.on_round if collector is not None else None,
+        ),
         compress=compress,
     )
+    if collector is not None:
+        mpc_net.runtime.on_shuffle = collector.on_shuffle
     mpc_result = solver(network=mpc_net)
 
     if mpc_result.cover != ref_result.cover:
@@ -581,7 +695,7 @@ def run_stage_parity(
     seed: int = 0,
     prepare: Callable[[CongestNetwork], None] | None = None,
     io_factor: float = 8.0,
-    compress: int = 1,
+    compress: int | str = 1,
 ) -> dict[str, Any]:
     """Stage-level parity check for bare ``NodeAlgorithm`` factories.
 
@@ -627,29 +741,38 @@ def _solve_on_mpc(
     seed: int,
     check_parity: bool,
     io_factor: float,
-    compress: int = 1,
+    compress: int | str = 1,
+    collector: Any | None = None,
 ):
     """Shared scaffolding of the compiled solver entry points.
 
     Runs ``solver(network=...)`` on a fresh MPC network — with the live
     engine-v2 shadow when ``check_parity`` — and returns the result
     together with the machine-side ledger payload (including the parity
-    report when one was produced).
+    report when one was produced).  A metrics ``collector`` is hooked
+    into the MPC network's round and shuffle streams and handed the
+    final MPC ledger.
     """
     if check_parity:
         result, net, report = solve_with_parity(
             solver, graph, alpha=alpha, seed=seed, io_factor=io_factor,
-            compress=compress,
+            compress=compress, collector=collector,
         )
     else:
         net = MPCCongestNetwork(
             graph, alpha=alpha, seed=seed, io_factor=io_factor,
             compress=compress,
+            on_round=collector.on_round if collector is not None else None,
         )
+        if collector is not None:
+            net.runtime.on_shuffle = collector.on_shuffle
         result = solver(network=net)
         report = {"parity": False}
     payload = net.mpc_summary()
     payload.update(report)
+    if collector is not None:
+        collector.record_mpc(net.mpc_summary())
+        collector.set_engine(net.engine_name)
     return result, payload
 
 
@@ -660,7 +783,8 @@ def solve_mvc_mpc(
     seed: int = 0,
     check_parity: bool = False,
     io_factor: float = 8.0,
-    compress: int = 1,
+    compress: int | str = 1,
+    collector: Any | None = None,
 ):
     """Algorithm 1 ((1+eps)-MVC of G^2) compiled onto the MPC backend.
 
@@ -673,7 +797,8 @@ def solve_mvc_mpc(
         return approx_mvc_square(graph, epsilon, network=network)
 
     return _solve_on_mpc(
-        solver, graph, alpha, seed, check_parity, io_factor, compress
+        solver, graph, alpha, seed, check_parity, io_factor, compress,
+        collector,
     )
 
 
@@ -684,7 +809,8 @@ def solve_mds_mpc(
     samples: int | None = None,
     check_parity: bool = False,
     io_factor: float = 8.0,
-    compress: int = 1,
+    compress: int | str = 1,
+    collector: Any | None = None,
 ):
     """Theorem 28 (O(log Delta)-MDS of G^2) compiled onto the MPC backend."""
     from repro.core.mds_congest import approx_mds_square
@@ -693,5 +819,6 @@ def solve_mds_mpc(
         return approx_mds_square(graph, network=network, samples=samples)
 
     return _solve_on_mpc(
-        solver, graph, alpha, seed, check_parity, io_factor, compress
+        solver, graph, alpha, seed, check_parity, io_factor, compress,
+        collector,
     )

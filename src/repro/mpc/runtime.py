@@ -146,7 +146,12 @@ class MPCRuntime:
     way :func:`~repro.congest.network.run_stages` sums ``RunStats``.
     """
 
-    def __init__(self, machines: Sequence[Machine], word_bits: int) -> None:
+    def __init__(
+        self,
+        machines: Sequence[Machine],
+        word_bits: int,
+        on_shuffle=None,
+    ) -> None:
         if not machines:
             raise ValueError("runtime needs at least one machine")
         if word_bits < 1:
@@ -155,6 +160,12 @@ class MPCRuntime:
         self.word_bits = word_bits
         self.stats = MPCRunStats(word_bits=word_bits)
         self.trace: list[ShuffleRecord] = []
+        #: Optional callback invoked with each new :class:`ShuffleRecord`
+        #: right after it lands on the trace.  Observation only — the
+        #: record is live (``absorb_early_finish`` may still shrink its
+        #: ``congest_rounds``), so consumers wanting final values should
+        #: hold the reference and read at aggregation time.
+        self.on_shuffle = on_shuffle
 
     @property
     def num_machines(self) -> int:
@@ -233,17 +244,18 @@ class MPCRuntime:
         stats.total_words += words_total
         stats.max_in_words = max(stats.max_in_words, max_in)
         stats.max_out_words = max(stats.max_out_words, max_out)
-        self.trace.append(
-            ShuffleRecord(
-                round_index=stats.rounds,
-                messages=messages,
-                words=words_total,
-                max_in_words=max_in,
-                max_out_words=max_out,
-                active_machines=m if active is None else active,
-                congest_rounds=congest_rounds,
-            )
+        record = ShuffleRecord(
+            round_index=stats.rounds,
+            messages=messages,
+            words=words_total,
+            max_in_words=max_in,
+            max_out_words=max_out,
+            active_machines=m if active is None else active,
+            congest_rounds=congest_rounds,
         )
+        self.trace.append(record)
+        if self.on_shuffle is not None:
+            self.on_shuffle(record)
         return inboxes
 
     def absorb_early_finish(self, unexecuted_rounds: int) -> None:
@@ -308,6 +320,11 @@ class MPCRuntime:
                 if prog.done:
                     continue
                 outboxes[mid] = prog.on_round(inboxes[mid])
+        # Final outboxes returned in the round every program finished (or
+        # straight from on_start) must still cross one metered shuffle —
+        # the loop above only shuffles while someone is live.
+        if any(outboxes):
+            self.shuffle(outboxes, active=0)
         run_trace = self.trace[trace_start:]
         stats = MPCRunStats(word_bits=self.word_bits)
         for record in run_trace:

@@ -237,13 +237,17 @@ def mpc_compression_grid(quick: bool = False) -> GridSpec:
     """Round-compression sweep: shuffles vs ``k`` at fixed (task, n, alpha).
 
     Every cell carries ``parity=True`` (its own engine-v2 shadow asserts
-    the CONGEST ledger is untouched by compression), and cells differ only
-    in the ``compress`` window along :data:`MPC_COMPRESSION_KS`, so
-    ``bench_mpc.py`` can read shuffle-count-vs-k curves straight off the
-    ``mpc`` ledger.  Alphas sit in the regime where the k-hop frontier
-    actually fits the window budget — the point of the grid is to observe
-    compression *engaging*; the forced-fallback regime is covered by the
-    differential tests instead.
+    the CONGEST ledger is untouched by compression) and ``metrics=True``
+    (the payload embeds the cell's metrics document, whose deterministic
+    section must be byte-identical across the whole compression axis), and
+    cells differ only in the ``compress`` window along
+    :data:`MPC_COMPRESSION_KS` plus one trailing ``compress="auto"`` cell
+    per point, so ``bench_mpc.py`` can read shuffle-count-vs-k curves
+    straight off the ``mpc`` ledger and check the adaptive controller
+    never loses to the best fixed window.  Alphas sit in the regime where
+    the k-hop frontier actually fits the window budget — the point of the
+    grid is to observe compression *engaging*; the forced-fallback regime
+    is covered by the differential tests instead.
     """
     points: list[tuple[str, int, float | None, float, float]] = [
         # (task, n, eps, gnp_p, alpha).  MDS points need the near-linear
@@ -261,11 +265,12 @@ def mpc_compression_grid(quick: bool = False) -> GridSpec:
         ]
     cells = []
     for task, n, eps, p, alpha in points:
-        for k in MPC_COMPRESSION_KS:
+        for k in (*MPC_COMPRESSION_KS, "auto"):
             params: tuple[tuple[str, object], ...] = (
                 ("gnp_p", p),
                 ("alpha", alpha),
                 ("parity", True),
+                ("metrics", True),
             )
             if k != 1:
                 params += (("compress", k),)

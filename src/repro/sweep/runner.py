@@ -184,6 +184,9 @@ class SweepResult:
             "grid": self.grid.name,
             "cells": len(self.results),
             "counts": counts,
+            # "warnings" is added under include_timing below: whether a
+            # cell degraded (e.g. an unenforceable timeout) depends on
+            # the platform, so it must stay out of deterministic_json.
             "results": [
                 r.to_json(include_timing=include_timing)
                 for r in self.results
@@ -205,6 +208,7 @@ class SweepResult:
         if include_timing:
             data["jobs"] = self.jobs
             data["wall_seconds"] = self.wall_seconds
+            data["warnings"] = sum(1 for r in self.results if r.warning)
         return data
 
     def deterministic_json(self) -> str:
@@ -244,6 +248,10 @@ class SweepResult:
             elif result.payload:
                 sig = result.payload.get("signature")
                 detail = str(sig) if sig else ""
+            if result.warning:
+                # A degraded cell must be visible in the merged table, not
+                # only in the JSON dump.
+                detail = f"warn! {detail}".rstrip()
             rows.append(
                 (
                     result.cell.key,

@@ -109,6 +109,51 @@ def signature_of(items: Iterable[Any]) -> str:
     return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
 
 
+#: Tasks that honor the ``metrics`` cell param by embedding a
+#: :class:`repro.metrics.MetricsCollector` document in their payload.
+METRICS_TASKS: frozenset[str] = frozenset(
+    {"mvc-congest", "mds-congest", "mpc-mvc", "mpc-mds"}
+)
+
+
+def _compress_of(cell: Cell) -> int | str:
+    """A cell's shuffle-compression setting: an int window or ``"auto"``.
+
+    Cell params are JSON scalars, so ``"auto"`` arrives as a plain string;
+    anything else is coerced to the integer window the compiler expects.
+    """
+    compress = cell.param("compress", 1)
+    if compress == "auto":
+        return "auto"
+    return int(compress)
+
+
+#: Cell coordinates that select a backend variant rather than a workload;
+#: they must stay out of the metrics label, which sits inside the
+#: deterministic section and therefore must be byte-identical across
+#: engines and compression windows on the same workload.
+_VARIANT_PARAMS = frozenset({"compress", "parity", "metrics"})
+
+
+def _metrics_label(cell: Cell) -> str:
+    parts = [cell.task, cell.graph, f"n={cell.n}", f"seed={cell.seed}"]
+    if cell.eps is not None:
+        parts.append(f"eps={cell.eps:g}")
+    parts.extend(
+        f"{k}={v}" for k, v in cell.params if k not in _VARIANT_PARAMS
+    )
+    return "/".join(parts)
+
+
+def _cell_collector(cell: Cell):
+    """The cell's metrics collector (``metrics`` param), or ``None``."""
+    if not cell.param("metrics"):
+        return None
+    from repro.metrics import MetricsCollector
+
+    return MetricsCollector(label=_metrics_label(cell))
+
+
 def graph_cache_key(cell: Cell) -> tuple[Any, ...] | None:
     """Cache key of the graph a cell would build, or None if uncacheable.
 
@@ -199,9 +244,15 @@ def _mvc_congest(cell: Cell) -> dict[str, Any]:
 
     eps = 0.5 if cell.eps is None else cell.eps
     graph = _cell_graph(cell)
-    result = approx_mvc_square(
-        graph, eps, seed=cell.seed, engine=cell.engine
-    )
+    collector = _cell_collector(cell)
+    if collector is not None:
+        network = CongestNetwork(graph, seed=cell.seed, engine=cell.engine)
+        collector.attach(network)
+        result = approx_mvc_square(graph, eps, network=network)
+    else:
+        result = approx_mvc_square(
+            graph, eps, seed=cell.seed, engine=cell.engine
+        )
     sq = square(graph)
     assert_vertex_cover(sq, result.cover)
     payload: dict[str, Any] = {
@@ -209,6 +260,8 @@ def _mvc_congest(cell: Cell) -> dict[str, Any]:
         "stats": stats_to_json(result.stats),
         "signature": signature_of(result.cover),
     }
+    if collector is not None:
+        payload["metrics"] = collector.to_json()
     if cell.param("exact"):
         from repro.exact.vertex_cover import minimum_vertex_cover
 
@@ -246,7 +299,13 @@ def _mds_congest(cell: Cell) -> dict[str, Any]:
     from repro.graphs.validation import assert_dominating_set
 
     graph = _cell_graph(cell)
-    result = approx_mds_square(graph, seed=cell.seed, engine=cell.engine)
+    collector = _cell_collector(cell)
+    if collector is not None:
+        network = CongestNetwork(graph, seed=cell.seed, engine=cell.engine)
+        collector.attach(network)
+        result = approx_mds_square(graph, network=network)
+    else:
+        result = approx_mds_square(graph, seed=cell.seed, engine=cell.engine)
     sq = square(graph)
     assert_dominating_set(sq, result.cover)
     payload: dict[str, Any] = {
@@ -256,6 +315,8 @@ def _mds_congest(cell: Cell) -> dict[str, Any]:
         "stats": stats_to_json(result.stats),
         "signature": signature_of(result.cover),
     }
+    if collector is not None:
+        payload["metrics"] = collector.to_json()
     if cell.param("exact"):
         from repro.exact.dominating_set import minimum_dominating_set
 
@@ -314,21 +375,26 @@ def _mpc_mvc(cell: Cell) -> dict[str, Any]:
     eps = 0.5 if cell.eps is None else cell.eps
     alpha = float(cell.param("alpha", 0.8))
     graph = _cell_graph(cell)
+    collector = _cell_collector(cell)
     result, mpc = solve_mvc_mpc(
         graph,
         eps,
         alpha=alpha,
         seed=cell.seed,
         check_parity=bool(cell.param("parity", False)),
-        compress=int(cell.param("compress", 1)),
+        compress=_compress_of(cell),
+        collector=collector,
     )
     assert_vertex_cover(square(graph), result.cover)
-    return {
+    payload: dict[str, Any] = {
         "cover_size": len(result.cover),
         "stats": stats_to_json(result.stats),
         "signature": signature_of(result.cover),
         "mpc": mpc,
     }
+    if collector is not None:
+        payload["metrics"] = collector.to_json()
+    return payload
 
 
 @register_task("mpc-mds", graph_cache=True)
@@ -340,21 +406,26 @@ def _mpc_mds(cell: Cell) -> dict[str, Any]:
 
     alpha = float(cell.param("alpha", 0.8))
     graph = _cell_graph(cell)
+    collector = _cell_collector(cell)
     result, mpc = solve_mds_mpc(
         graph,
         alpha=alpha,
         seed=cell.seed,
         check_parity=bool(cell.param("parity", False)),
-        compress=int(cell.param("compress", 1)),
+        compress=_compress_of(cell),
+        collector=collector,
     )
     assert_dominating_set(square(graph), result.cover)
-    return {
+    payload: dict[str, Any] = {
         "cover_size": len(result.cover),
         "phases": result.detail["phases"],
         "stats": stats_to_json(result.stats),
         "signature": signature_of(result.cover),
         "mpc": mpc,
     }
+    if collector is not None:
+        payload["metrics"] = collector.to_json()
+    return payload
 
 
 @register_task("mpc-matching", graph_cache=True)
@@ -429,7 +500,7 @@ def _mpc_parity(cell: Cell) -> dict[str, Any]:
         alpha=alpha,
         seed=cell.seed,
         prepare=prepare,
-        compress=int(cell.param("compress", 1)),
+        compress=_compress_of(cell),
     )
     matching = mpc_maximal_matching(graph, alpha=alpha, seed=cell.seed)
     assert_maximal_matching(graph, matching.matching)

@@ -222,3 +222,117 @@ class TestCompressFlag:
         )
         assert code == 0
         assert "parity samples verified" in capsys.readouterr().out
+
+
+class TestAutoCompressFlag:
+    def test_auto_runs_and_prints_ledger(self, capsys):
+        code = main(
+            ["mvc", "--n", "14", "--model", "mpc", "--alpha", "0.9",
+             "--compress", "auto", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-k auto" in out
+        assert "auto[" in out
+        assert "skips=" in out
+
+    def test_auto_requires_mpc_model(self, capsys):
+        code = main(["mvc", "--n", "12", "--compress", "auto"])
+        assert code == 2
+        assert "--model mpc" in capsys.readouterr().err
+
+    def test_bad_compress_string_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mvc", "--compress", "fast"])
+
+    def test_sweep_axis_accepts_auto(self):
+        from repro.cli import _parse_compress
+
+        assert _parse_compress("1,auto,2,auto") == (1, "auto", 2)
+
+
+class TestMetricsFlag:
+    def test_mvc_congest_writes_valid_document(self, capsys, tmp_path):
+        from repro.metrics import validate_metrics
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["mvc", "--n", "14", "--seed", "2", "--metrics", str(path)]
+        )
+        assert code == 0
+        assert "metrics: wrote" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        validate_metrics(doc)
+        assert doc["label"] == "mvc/gnp/n=14/seed=2"
+
+    def test_digest_is_model_independent(self, capsys, tmp_path):
+        # The deterministic section must not move between the CONGEST
+        # model and the MPC compilation (any k, auto included): same
+        # workload, same label, same bytes.
+        digests = set()
+        for extra in (
+            [],
+            ["--model", "mpc", "--alpha", "0.9", "-k", "auto"],
+        ):
+            path = tmp_path / f"m{len(digests)}.json"
+            code = main(
+                ["mvc", "--n", "14", "--seed", "2", "--metrics", str(path)]
+                + extra
+            )
+            assert code == 0
+            capsys.readouterr()
+            digests.add(json.loads(path.read_text())["deterministic_sha256"])
+        assert len(digests) == 1
+
+    def test_metrics_requires_instrumented_model(self, capsys):
+        code = main(
+            ["mvc", "--n", "12", "--model", "centralized",
+             "--metrics", "/tmp/unused.json"]
+        )
+        assert code == 2
+        assert "--model congest or --model mpc" in capsys.readouterr().err
+
+    def test_sweep_metrics_requires_capable_task(self):
+        with pytest.raises(SystemExit, match="metrics-capable"):
+            main(["sweep", "--task", "selftest-ok", "--ns", "8",
+                  "--metrics", "/tmp/unused.json"])
+
+    def test_sweep_metrics_writes_cell_documents(self, capsys, tmp_path):
+        from repro.metrics import validate_metrics
+
+        path = tmp_path / "sweep_metrics.json"
+        code = main(
+            ["sweep", "--task", "mvc-congest", "--ns", "10,12",
+             "--epss", "0.5", "--jobs", "1", "--metrics", str(path),
+             "--quiet"]
+        )
+        assert code == 0
+        assert "metrics: wrote" in capsys.readouterr().out
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro.metrics.sweep/1"
+        assert len(data["cells"]) == 2
+        for doc in data["cells"].values():
+            validate_metrics(doc)
+
+
+class TestSweepWarningSummary:
+    def test_degraded_cells_are_reported(self, capsys, monkeypatch):
+        # Force the timeout-degradation path: with SIGALRM unavailable
+        # every budgeted cell runs un-budgeted and must say so in the
+        # summary, not only in the JSON dump.
+        import repro.sweep.runner as runner
+
+        monkeypatch.setattr(runner, "_can_arm_alarm", lambda: False)
+        code = main(
+            ["sweep", "--task", "selftest-ok", "--ns", "8",
+             "--timeout", "30", "--jobs", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warnings: 1 cell(s) ran degraded" in out
+        assert "warn!" in out
+
+    def test_clean_run_prints_no_warning_line(self, capsys):
+        code = main(["sweep", "--task", "selftest-ok", "--ns", "8"])
+        assert code == 0
+        assert "warnings:" not in capsys.readouterr().out

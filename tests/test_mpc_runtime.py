@@ -217,6 +217,45 @@ class TestRuntime:
         with pytest.raises(RoundLimitError):
             runtime.run([Spinner(m) for m in machines], max_rounds=5)
 
+    def test_final_round_outboxes_cross_a_metered_shuffle(self):
+        # Regression: messages returned in the round every program
+        # finished used to be dropped unmetered — the run loop only
+        # shuffles while someone is live.
+        class FinalSender(MachineProgram):
+            def on_round(self, inbox):
+                self.finish(len(inbox))
+                if self.machine.machine_id != 0:
+                    return [(0, 7)]
+                return None
+
+        machines = [Machine(i, 100) for i in range(2)]
+        runtime = MPCRuntime(machines, word_bits=5)
+        result = runtime.run([FinalSender(m) for m in machines])
+        # One empty round-1 shuffle, then the final flush with the
+        # parting message: envelope + one small int.
+        assert result.stats.shuffles == 2
+        assert result.stats.messages == 1
+        assert result.stats.total_words == ENVELOPE_WORDS + 1
+        assert result.trace[-1].active_machines == 0
+        assert result.trace[-1].messages == 1
+
+    def test_quiet_final_round_adds_no_flush_shuffle(self):
+        # A program set whose last round returns nothing must not pay an
+        # extra (empty) shuffle for the flush.
+        machines = [Machine(i, 100) for i in range(3)]
+        runtime = MPCRuntime(machines, word_bits=5)
+        result = runtime.run([_Echo(m, m.machine_id) for m in machines])
+        assert len(result.trace) == 1
+        assert result.trace[0].active_machines == 3
+
+    def test_on_shuffle_hook_observes_every_record(self):
+        seen = []
+        machines = [Machine(i, 100) for i in range(3)]
+        runtime = MPCRuntime(machines, word_bits=5, on_shuffle=seen.append)
+        runtime.run([_Echo(m, m.machine_id * 10) for m in machines])
+        assert seen == runtime.trace
+        assert all(isinstance(r.round_index, int) for r in seen)
+
     def test_stats_addition_word_size_guard(self):
         a = MPCRunStats(rounds=1, total_words=5, word_bits=4)
         b = MPCRunStats(rounds=2, total_words=7, word_bits=4)

@@ -153,6 +153,47 @@ class TestEvaluateCell:
         assert result.warning is None
 
 
+class TestWarningSurfacing:
+    """Regression: a degraded cell must be visible in the merged outputs,
+    not only on the individual CellResult."""
+
+    def _sweep(self, warning=None):
+        from repro.sweep.runner import SweepResult
+
+        results = [
+            evaluate_cell(Cell(task="selftest-ok", n=5, seed=7)),
+            evaluate_cell(Cell(task="selftest-ok", n=6, seed=8)),
+        ]
+        results[1].warning = warning
+        return SweepResult(
+            grid=GridSpec("g", tuple(r.cell for r in results)),
+            results=results,
+            jobs=1,
+            wall_seconds=0.0,
+        )
+
+    def test_table_rows_carry_a_marker(self):
+        sweep = self._sweep(warning="timeout 5s not enforced")
+        details = [row[-1] for row in sweep.table_rows()]
+        assert not details[0].startswith("warn!")
+        assert details[1].startswith("warn! ")
+        # The signature detail survives behind the marker.
+        assert "ok-6" in details[1]
+
+    def test_to_json_counts_warnings_under_timing(self):
+        sweep = self._sweep(warning="degraded")
+        assert sweep.to_json(include_timing=True)["warnings"] == 1
+        assert "warnings" not in sweep.to_json(include_timing=False)
+
+    def test_clean_sweep_counts_zero(self):
+        sweep = self._sweep(warning=None)
+        assert sweep.to_json(include_timing=True)["warnings"] == 0
+        assert all(
+            not str(row[-1]).startswith("warn!")
+            for row in sweep.table_rows()
+        )
+
+
 class TestDeterminism:
     """Same grid + same seeds => identical merged table, serial or pooled."""
 
