@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -83,7 +84,7 @@ def _reject_engine_for_mpc(args: argparse.Namespace) -> bool:
     return True
 
 
-def _print_mpc_ledger(payload: dict) -> None:
+def _print_mpc_ledger(payload: dict, workers: int = 1) -> None:
     shuffle = payload["shuffle"]
     line = (
         f"mpc: machines={payload['machines']} S={payload['budget_words']} "
@@ -91,6 +92,10 @@ def _print_mpc_ledger(payload: dict) -> None:
         f"shuffle_words={shuffle['total_words']} "
         f"max_machine_load={shuffle['max_in_words']}"
     )
+    if workers > 1:
+        # Printed from the resolved worker count, never the payload: the
+        # ledger payload is byte-identical at any worker count by contract.
+        line += f"  workers={workers}"
     # compress is an int window or the string "auto" — compare carefully.
     compress = payload.get("compress", 1)
     if compress == "auto" or compress > 1:
@@ -140,6 +145,37 @@ def _check_compress(args: argparse.Namespace) -> int | None:
     return None
 
 
+def _check_mpc_workers(args: argparse.Namespace) -> int | None:
+    """Validate --mpc-workers; returns an exit code on error, else None."""
+    workers = getattr(args, "mpc_workers", None)
+    if workers is None:
+        return None
+    if workers < 1:
+        print(
+            f"error: --mpc-workers must be >= 1, got {workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.model != "mpc":
+        print(
+            "error: --mpc-workers shards MPC machines over worker "
+            "processes; it requires --model mpc",
+            file=sys.stderr,
+        )
+        return 2
+    return None
+
+
+def _resolved_mpc_workers(args: argparse.Namespace) -> int:
+    """The worker count a run will use (explicit flag, else env, else 1)."""
+    from repro.mpc.parallel import resolve_workers
+
+    try:
+        return resolve_workers(getattr(args, "mpc_workers", None))
+    except ValueError:
+        return 1
+
+
 def _make_collector(args: argparse.Namespace, command: str):
     """Build the --metrics collector, or an exit code on a bad combination.
 
@@ -172,6 +208,8 @@ def _write_metrics(collector, path: str) -> None:
 
 def _cmd_mvc(args: argparse.Namespace) -> int:
     code = _check_compress(args)
+    if code is None:
+        code = _check_mpc_workers(args)
     if code is not None:
         return code
     collector, code = _make_collector(args, "mvc")
@@ -199,9 +237,10 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
         result, mpc_payload = solve_mvc_mpc(
             graph, args.eps, alpha=args.alpha, seed=args.seed,
             check_parity=True, compress=args.compress, collector=collector,
+            workers=args.mpc_workers,
         )
         cover, rounds = result.cover, result.stats.rounds
-        _print_mpc_ledger(mpc_payload)
+        _print_mpc_ledger(mpc_payload, workers=_resolved_mpc_workers(args))
     elif args.model == "clique-det":
         result = approx_mvc_square_clique_deterministic(
             graph, args.eps, seed=args.seed, engine=args.engine
@@ -236,6 +275,8 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
 
 def _cmd_mds(args: argparse.Namespace) -> int:
     code = _check_compress(args)
+    if code is None:
+        code = _check_mpc_workers(args)
     if code is not None:
         return code
     collector, code = _make_collector(args, "mds")
@@ -251,8 +292,9 @@ def _cmd_mds(args: argparse.Namespace) -> int:
         result, mpc_payload = solve_mds_mpc(
             graph, alpha=args.alpha, seed=args.seed, check_parity=True,
             compress=args.compress, collector=collector,
+            workers=args.mpc_workers,
         )
-        _print_mpc_ledger(mpc_payload)
+        _print_mpc_ledger(mpc_payload, workers=_resolved_mpc_workers(args))
     elif collector is not None:
         from repro.congest.network import CongestNetwork
 
@@ -306,7 +348,11 @@ def _verify_grid(family: str, k: int, samples: int) -> GridSpec:
 
 
 def _mpc_verify_grid(
-    n: int, alpha: float, samples: int, compress: int | str = 1
+    n: int,
+    alpha: float,
+    samples: int,
+    compress: int | str = 1,
+    workers: int | None = None,
 ) -> GridSpec:
     """One round-compilation parity cell per sampled seed."""
     params: tuple[tuple[str, object], ...] = (
@@ -315,6 +361,8 @@ def _mpc_verify_grid(
     )
     if compress != 1:
         params += (("compress", compress),)
+    if workers is not None and workers != 1:
+        params += (("mpc_workers", workers),)
     cells = tuple(
         Cell(task="mpc-parity", graph="gnp", n=n, seed=seed, params=params)
         for seed in range(samples)
@@ -324,7 +372,8 @@ def _mpc_verify_grid(
 
 def _cmd_verify_mpc(args: argparse.Namespace) -> int:
     grid = _mpc_verify_grid(
-        args.n, args.alpha, args.samples, compress=args.compress
+        args.n, args.alpha, args.samples, compress=args.compress,
+        workers=args.mpc_workers,
     )
     sweep = run_sweep(grid, jobs=args.jobs)
     failures = 0
@@ -347,6 +396,8 @@ def _cmd_verify_mpc(args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     code = _check_compress(args)
+    if code is None:
+        code = _check_mpc_workers(args)
     if code is not None:
         return code
     if args.model == "mpc":
@@ -428,6 +479,18 @@ def _parse_compress(text: str) -> tuple[int | str, ...]:
     )
 
 
+def _parse_mpc_workers(text: str) -> tuple[int, ...]:
+    """``--mpc-workers`` for sweeps: shard counts >= 1, deduped."""
+    return _parse_axis(
+        text,
+        "--mpc-workers",
+        int,
+        "an integer",
+        lambda value: value >= 1,
+        ">= 1",
+    )
+
+
 def _sweep_grid_from_args(args: argparse.Namespace) -> GridSpec:
     if args.grid is not None:
         if args.task is not None:
@@ -460,6 +523,11 @@ def _sweep_grid_from_args(args: argparse.Namespace) -> GridSpec:
         if args.model != "mpc":
             raise SystemExit("--compress requires --model mpc")
         compressions = _parse_compress(args.compress) or (1,)
+    workers_axis: tuple[int, ...] = (1,)
+    if args.mpc_workers:
+        if args.model != "mpc":
+            raise SystemExit("--mpc-workers requires --model mpc")
+        workers_axis = _parse_mpc_workers(args.mpc_workers) or (1,)
     metrics_param: tuple[tuple[str, object], ...] = ()
     if args.metrics is not None:
         from repro.sweep.tasks import METRICS_TASKS
@@ -481,30 +549,34 @@ def _sweep_grid_from_args(args: argparse.Namespace) -> GridSpec:
     epss: tuple[float | None, ...] = (None,)
     if args.epss:
         epss = _parse_list(args.epss, float)
-    # One expansion per (alpha, compression) pair (extra per-cell axes the
-    # cartesian helper does not know about); seeds derive from the other
-    # coordinates, so the same point at two alphas or window lengths
-    # evaluates the same workload graph.
+    # One expansion per (alpha, compression, workers) triple (extra
+    # per-cell axes the cartesian helper does not know about); seeds
+    # derive from the other coordinates, so the same point at two alphas,
+    # window lengths or worker counts evaluates the same workload graph —
+    # and for workers, produces the byte-identical payload.
     cells = []
     for alpha in alphas or (None,):
         for compress in compressions:
-            params = metrics_param
-            if alpha is not None:
-                params += (("alpha", alpha),)
-            if compress != 1:
-                params += (("compress", compress),)
-            expansion = expand_grid(
-                name=f"adhoc-{args.task}",
-                task=args.task,
-                graphs=_parse_list(args.graphs, str),
-                ns=_parse_list(args.ns, int),
-                epss=epss,
-                engines=engines,
-                replicates=args.replicates,
-                base_seed=args.base_seed,
-                params=params,
-            )
-            cells.extend(expansion.cells)
+            for workers in workers_axis:
+                params = metrics_param
+                if alpha is not None:
+                    params += (("alpha", alpha),)
+                if compress != 1:
+                    params += (("compress", compress),)
+                if workers != 1:
+                    params += (("mpc_workers", workers),)
+                expansion = expand_grid(
+                    name=f"adhoc-{args.task}",
+                    task=args.task,
+                    graphs=_parse_list(args.graphs, str),
+                    ns=_parse_list(args.ns, int),
+                    epss=epss,
+                    engines=engines,
+                    replicates=args.replicates,
+                    base_seed=args.base_seed,
+                    params=params,
+                )
+                cells.extend(expansion.cells)
     grid = GridSpec(name=f"adhoc-{args.task}", cells=tuple(cells))
     if not grid.cells:
         # An empty axis (e.g. --ns "" from an unset shell variable) would
@@ -518,9 +590,37 @@ def _sweep_grid_from_args(args: argparse.Namespace) -> GridSpec:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     grid = _sweep_grid_from_args(args)
-    sweep = run_sweep(
-        grid, jobs=args.jobs, timeout=args.timeout, repeats=args.repeats
-    )
+    # Named grids fix their cell coordinates, so --mpc-workers applies as
+    # the environment override every MPC network resolves its default
+    # worker count from: the whole grid runs sharded while every payload
+    # (and the deterministic digest) stays byte-identical to a serial run
+    # — which is exactly how the parallel-parity acceptance gate compares
+    # worker counts.
+    env_workers: int | None = None
+    if args.grid is not None and args.mpc_workers:
+        values = _parse_mpc_workers(args.mpc_workers)
+        if len(values) != 1:
+            raise SystemExit(
+                "named grids take a single --mpc-workers value (applied "
+                "as the REPRO_MPC_WORKERS override); axes apply to ad-hoc "
+                "--task grids"
+            )
+        env_workers = values[0]
+    from repro.mpc.parallel import WORKERS_ENV_VAR
+
+    saved_workers = os.environ.get(WORKERS_ENV_VAR)
+    if env_workers is not None:
+        os.environ[WORKERS_ENV_VAR] = str(env_workers)
+    try:
+        sweep = run_sweep(
+            grid, jobs=args.jobs, timeout=args.timeout, repeats=args.repeats
+        )
+    finally:
+        if env_workers is not None:
+            if saved_workers is None:
+                os.environ.pop(WORKERS_ENV_VAR, None)
+            else:
+                os.environ[WORKERS_ENV_VAR] = saved_workers
     data = sweep.to_json()
     digest = sweep.deterministic_sha256()
     data["deterministic_sha256"] = digest
@@ -620,6 +720,14 @@ def build_parser() -> argparse.ArgumentParser:
         "each window's k",
     )
     mvc.add_argument(
+        "--mpc-workers",
+        type=int,
+        default=None,
+        help="mpc model only: shard the machines over this many forked "
+        "worker processes (default: REPRO_MPC_WORKERS env or 1 = serial); "
+        "the shuffle ledger and outputs are identical at any count",
+    )
+    mvc.add_argument(
         "--metrics",
         default=None,
         metavar="PATH",
@@ -662,6 +770,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(adaptive; falls back to 1 where the k-hop frontier exceeds the "
         "window budget); 'auto' lets a peak-hold load estimator choose "
         "each window's k",
+    )
+    mds.add_argument(
+        "--mpc-workers",
+        type=int,
+        default=None,
+        help="mpc model only: shard the machines over this many forked "
+        "worker processes (default: REPRO_MPC_WORKERS env or 1 = serial); "
+        "the shuffle ledger and outputs are identical at any count",
     )
     mds.add_argument(
         "--metrics",
@@ -712,6 +828,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="mpc model only: batch up to k CONGEST rounds per shuffle in "
         "the parity cells, or 'auto' (no -k short form here; --k is the "
         "family size)",
+    )
+    verify.add_argument(
+        "--mpc-workers",
+        type=int,
+        default=None,
+        help="mpc model only: shard each parity cell's machines over this "
+        "many forked worker processes (orthogonal to --jobs, which fans "
+        "out whole cells)",
     )
     verify.add_argument(
         "--jobs",
@@ -772,6 +896,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated shuffle-compression windows for --model mpc "
         "(one grid expansion per k; duplicates dropped, values >= 1 or "
         "'auto'; default 1)",
+    )
+    sweep.add_argument(
+        "--mpc-workers",
+        default="",
+        help="MPC shard workers per cell: a comma axis for ad-hoc "
+        "--model mpc grids (one expansion per count; payloads are "
+        "identical across counts), or a single value for named grids "
+        "(applied as the REPRO_MPC_WORKERS override without changing "
+        "cell coordinates)",
     )
     sweep.add_argument(
         "--metrics",

@@ -112,7 +112,15 @@ class MetricsCollector:
         self.engine = name
 
     def record_mpc(self, summary: dict[str, Any]) -> None:
-        """Store the final MPC ledger (``mpc_summary()``) for the variant."""
+        """Store the final MPC ledger (``mpc_summary()``) for the variant.
+
+        Callers may extend the summary with execution provenance — the
+        compiled solvers add ``workers``, the process-parallel shard
+        count.  Worker count belongs here in the *variant* section (like
+        ``awake`` and timing) precisely because the deterministic section
+        must stay byte-identical at any count: sharding changes where
+        local computation runs, never what the ledger records.
+        """
         self.mpc = summary
 
     # -- aggregation -------------------------------------------------------

@@ -6,8 +6,10 @@ with ``S = ceil(n^alpha)`` words of metered memory
 (:mod:`repro.mpc.partition`), synchronous metered shuffle rounds
 (:mod:`repro.mpc.runtime`), a round-compiler executing any existing
 ``NodeAlgorithm`` one CONGEST round per shuffle with word-for-word parity
-against engine v2 (:mod:`repro.mpc.compile_congest`), and a native
-matching workload (:mod:`repro.mpc.matching`).
+against engine v2 (:mod:`repro.mpc.compile_congest`), a native
+matching workload (:mod:`repro.mpc.matching`), and process-parallel
+shard execution of one instance's machines between shuffle barriers
+(:mod:`repro.mpc.parallel`) — ledger-identical at any worker count.
 """
 
 from repro.mpc.compile_congest import (
@@ -21,8 +23,16 @@ from repro.mpc.compile_congest import (
 from repro.mpc.machine import (
     Machine,
     MachineProgram,
+    MachineSpec,
     MemoryBudgetExceeded,
     memory_budget,
+)
+from repro.mpc.parallel import (
+    WORKERS_ENV_VAR,
+    ForkShardPool,
+    WorkerCrashError,
+    plan_shards,
+    resolve_workers,
 )
 from repro.mpc.matching import (
     MatchingResult,
@@ -46,22 +56,28 @@ from repro.mpc.runtime import (
 __all__ = [
     "Assignment",
     "ENVELOPE_WORDS",
+    "ForkShardPool",
     "MPCCongestNetwork",
     "MPCRunResult",
     "MPCRunStats",
     "MPCRuntime",
     "Machine",
     "MachineProgram",
+    "MachineSpec",
     "MatchingResult",
     "MemoryBudgetExceeded",
     "ParityError",
     "ShuffleRecord",
+    "WORKERS_ENV_VAR",
+    "WorkerCrashError",
     "assert_maximal_matching",
     "balanced_assignment",
     "memory_budget",
     "mpc_maximal_matching",
     "partition_edges",
     "partition_vertices",
+    "plan_shards",
+    "resolve_workers",
     "run_stage_parity",
     "solve_mds_mpc",
     "solve_mvc_mpc",

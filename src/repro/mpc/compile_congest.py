@@ -51,7 +51,8 @@ in sublinear space.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Mapping
+import collections
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from typing import Any
 
 import networkx as nx
@@ -67,6 +68,7 @@ from repro.congest.network import (
     RunResult,
     RunStats,
 )
+from repro.mpc import parallel as _parallel
 from repro.mpc.machine import Machine, memory_budget
 from repro.mpc.partition import partition_vertices
 from repro.mpc.runtime import ENVELOPE_WORDS, MPCRuntime
@@ -119,6 +121,7 @@ class MPCCongestNetwork(CongestNetwork):
         io_factor: float = 8.0,
         on_round: Callable[[RoundEvent], None] | None = None,
         compress: int | str = 1,
+        workers: int | None = None,
     ) -> None:
         # The base class insists on building an engine; pin "v1" so the
         # construction never depends on REPRO_ENGINE.  It is never used —
@@ -175,6 +178,22 @@ class MPCCongestNetwork(CongestNetwork):
         # candidate lengths incrementally through these deltas instead of
         # re-counting the whole frontier per candidate.
         self._delta_watchers: dict[int, list[tuple[int, ...]]] = {}
+        # radius -> cumulative per-machine (in, out) words of *state*
+        # shipping for a window of radius r.  These loads depend only on
+        # the graph and partition — never on the pending messages — so
+        # they are computed once per radius and reused by every window the
+        # planner evaluates afterwards (see planner_stats for the pin).
+        self._state_load_cache: dict[
+            int, tuple[tuple[int, ...], tuple[int, ...]]
+        ] = {}
+        #: Window-planner work counters: ``windows_planned`` counts full
+        #: candidate scans, ``state_radii_built`` counts (once-per-radius)
+        #: static frontier-load builds — the latter stays bounded by the
+        #: window cap no matter how many windows are planned.
+        self.planner_stats = {"windows_planned": 0, "state_radii_built": 0}
+        #: Shard-worker count for process-parallel execution; resolved
+        #: from the ``REPRO_MPC_WORKERS`` override when not explicit.
+        self.workers = _parallel.resolve_workers(workers)
 
     @property
     def engine_name(self) -> str:
@@ -232,6 +251,14 @@ class MPCCongestNetwork(CongestNetwork):
         if max_rounds is None:
             max_rounds = DEFAULT_ROUND_FACTOR * self.n * self.n + 1000
         hook = on_round if on_round is not None else self.on_round
+        effective_workers = min(self.workers, self.num_machines)
+        if effective_workers > 1 and _parallel.fork_available():
+            node_shards = self._node_shards(effective_workers)
+            if len(node_shards) > 1:
+                return self._run_parallel(
+                    factory, inputs, max_rounds, trace, hook, label,
+                    node_shards,
+                )
         views = self._make_views(inputs)
         algorithms = [factory(view) for view in views]
         stats = RunStats(word_bits=self.word_bits)
@@ -287,6 +314,167 @@ class MPCCongestNetwork(CongestNetwork):
         return RunResult(
             outputs=outputs, stats=stats, by_id=by_id, trace=timeline
         )
+
+    # -- process-parallel execution -----------------------------------------
+
+    def _node_shards(self, workers: int) -> list[tuple[int, ...]]:
+        """Group hosted node ids by shard: machines round-robin to workers.
+
+        Grouping by machine (not by node) keeps a machine's whole vertex
+        set on one shard worker, mirroring the model: a shard executes the
+        local computation of *machines*, the parent executes the shuffles.
+        Empty shards (machines with no vertices) are dropped.
+        """
+        shards = []
+        for machine_ids in _parallel.plan_shards(self.num_machines, workers):
+            members = set(machine_ids)
+            nodes = tuple(
+                nid for nid in range(self.n) if self._host[nid] in members
+            )
+            if nodes:
+                shards.append(nodes)
+        return shards
+
+    def _run_parallel(
+        self,
+        factory: AlgorithmFactory,
+        inputs: Mapping[Any, Any] | None,
+        max_rounds: int,
+        trace: bool,
+        hook: Callable[[RoundEvent], None] | None,
+        label: str | None,
+        node_shards: list[tuple[int, ...]],
+    ) -> RunResult:
+        """The machine-parallel twin of :meth:`run`'s serial loop.
+
+        Views and algorithms are constructed in the parent (so any
+        construction-time randomness draws from the exact per-node streams
+        the serial path uses) and cross into the shard workers once, at
+        fork time.  Each round the parent plans the window, executes the
+        metered shuffle (the shared barrier — budget violations raise
+        here, identically to serial), scatters per-shard inbox slices, and
+        merges the returned fragments: pending messages normalized to
+        ascending sender id (the serial insertion order), counter stats
+        summed, ``max_words_per_edge_round`` max-combined, RoundEvents
+        emitted parent-side.  The CONGEST and MPC ledgers are therefore
+        byte-identical to the serial path; only wall-clock time changes.
+        """
+        views = self._make_views(inputs)
+        algorithms = [factory(view) for view in views]
+        handlers = [
+            _CompiledShard(self, algorithms, shard) for shard in node_shards
+        ]
+        stats = RunStats(word_bits=self.word_bits)
+        timeline: list[RoundRecord] | None = [] if trace else None
+        done: set[int] = set()
+        outputs_by_id: dict[int, Any] = {}
+
+        def merge(frags: list[dict[str, Any]]) -> dict[int, dict[int, Any]]:
+            _parallel.raise_shard_error(frags)
+            pending: dict[int, dict[int, Any]] = {
+                i: {} for i in range(self.n)
+            }
+            buckets: dict[int, list[tuple[int, Any]]] = {}
+            for frag in frags:
+                for target, sender, payload in frag["pending"]:
+                    buckets.setdefault(target, []).append((sender, payload))
+                messages, words, max_words, cut = frag["stats"]
+                stats.messages += messages
+                stats.total_words += words
+                stats.max_words_per_edge_round = max(
+                    stats.max_words_per_edge_round, max_words
+                )
+                stats.cut_words += cut
+                for nid, output in frag["finished"]:
+                    done.add(nid)
+                    outputs_by_id[nid] = output
+            for target, items in buckets.items():
+                if len(items) > 1:
+                    items.sort(key=lambda entry: entry[0])
+                pending[target].update(items)
+            return pending
+
+        with _parallel.ForkShardPool(handlers) as pool:
+            pending = merge(pool.step_all(("start", None)))
+            self._emit(timeline, hook, 0, stats.messages, stats.total_words,
+                       len(algorithms), stats.cut_words,
+                       self.n - len(done), label)
+            while len(done) < self.n:
+                if stats.rounds >= max_rounds:
+                    raise RoundLimitError(
+                        f"no termination within {max_rounds} rounds "
+                        f"({self.n - len(done)} nodes alive)"
+                    )
+                live_machines = len(
+                    {self._host[nid] for nid in range(self.n)
+                     if nid not in done}
+                )
+                window = self._plan_window(pending)
+                if window == 1:
+                    inboxes = self._shuffle_round(pending, live_machines)
+                    pending = self._parallel_round(
+                        pool, node_shards, inboxes, done, stats, merge,
+                        timeline, hook, label,
+                    )
+                    continue
+                self._prefetch_window(pending, window, live_machines)
+                executed = 0
+                for _ in range(window):
+                    if len(done) >= self.n:
+                        break
+                    if stats.rounds >= max_rounds:
+                        raise RoundLimitError(
+                            f"no termination within {max_rounds} rounds "
+                            f"({self.n - len(done)} nodes alive)"
+                        )
+                    inboxes = self._local_inboxes(pending)
+                    pending = self._parallel_round(
+                        pool, node_shards, inboxes, done, stats, merge,
+                        timeline, hook, label,
+                    )
+                    executed += 1
+                self.runtime.absorb_early_finish(window - executed)
+            for frag in pool.step_all(("finalize", None)):
+                for nid, state in frag["state"].items():
+                    self.node_state[nid] = state
+        outputs = {
+            self._label_of[nid]: outputs_by_id[nid] for nid in range(self.n)
+        }
+        by_id = {nid: outputs_by_id[nid] for nid in range(self.n)}
+        return RunResult(
+            outputs=outputs, stats=stats, by_id=by_id, trace=timeline
+        )
+
+    def _parallel_round(
+        self, pool, node_shards, inboxes, done, stats, merge,
+        timeline, hook, label=None,
+    ) -> dict[int, dict[int, Any]]:
+        """One CONGEST round executed across the shard workers."""
+        tasks = []
+        for shard in node_shards:
+            slice_: dict[int, dict[int, Any]] = {}
+            for nid in shard:
+                if nid in done:
+                    continue
+                box = inboxes.get(nid)
+                if box:
+                    slice_[nid] = box
+            tasks.append(("round", slice_))
+        frags = pool.step(tasks)
+        stats.rounds += 1
+        before_messages = stats.messages
+        before_words = stats.total_words
+        before_cut = stats.cut_words
+        pending = merge(frags)
+        awake = sum(frag["awake"] for frag in frags)
+        self._emit(
+            timeline, hook, stats.rounds,
+            stats.messages - before_messages,
+            stats.total_words - before_words,
+            awake, stats.cut_words - before_cut,
+            self.n - len(done), label,
+        )
+        return pending
 
     def _execute_round(
         self, algorithms, inboxes, pending, stats, timeline, hook,
@@ -458,6 +646,47 @@ class MPCCongestNetwork(CongestNetwork):
         self._delta_watchers[radius] = cached
         return cached
 
+    def _state_loads_upto(
+        self, radius: int
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Cumulative per-machine (in, out) *state*-shipping words.
+
+        The state half of a window's frontier — every foreign node's id
+        plus adjacency within ``radius`` hops of each machine's hosted
+        set — depends only on the graph and the partition, never on the
+        pending messages, yet the planner used to re-count it for every
+        window of every shuffle.  Each radius is now built once (from the
+        previous radius plus one watcher delta), cached for the lifetime
+        of the network, and shared by every window planned afterwards;
+        ``planner_stats["state_radii_built"]`` pins the build count.
+        """
+        cached = self._state_load_cache.get(radius)
+        if cached is not None:
+            return cached
+        if radius == 0:
+            # Radius 0 is the host machine's own nodes: no state ships.
+            cached = ((0,) * self.num_machines, (0,) * self.num_machines)
+        else:
+            prev_in, prev_out = self._state_loads_upto(radius - 1)
+            in_words = list(prev_in)
+            out_words = list(prev_out)
+            delta = self._delta_watchers_at(radius)
+            state_costs = self._state_costs
+            host = self._host
+            for u in range(self.n):
+                added = delta[u]
+                if not added:
+                    continue
+                cost = state_costs[u]
+                u_host = host[u]
+                for mid in added:
+                    in_words[mid] += cost
+                    out_words[u_host] += cost
+            cached = (tuple(in_words), tuple(out_words))
+            self.planner_stats["state_radii_built"] += 1
+        self._state_load_cache[radius] = cached
+        return cached
+
     def _plan_window(self, pending: dict[int, dict[int, Any]]) -> int:
         """Adaptively choose this window's length ``k``.
 
@@ -473,14 +702,19 @@ class MPCCongestNetwork(CongestNetwork):
         window degrades to the classical one-round-one-shuffle path
         (``k = 1``) instead of raising.
 
-        The candidate scan is incremental: per-machine loads carry over
-        from candidate ``k`` to ``k + 1`` by applying the radius-``k``
-        delta watchers, so one window costs one pass over (messages x
-        watching machines) at the largest radius probed — not one pass
-        per candidate.  In auto mode the peak-hold estimator observes the
-        ``k = 2`` frontier-load fraction each planned window and
-        short-circuits planning to ``k = 1`` while the held peak says
-        even the smallest window is hopelessly over budget.
+        The candidate scan is incremental, and split by what varies: the
+        *state* half of every candidate's loads is pending-independent
+        and comes from the per-radius cumulative cache
+        (:meth:`_state_loads_upto` — built once per radius across all
+        windows of all shuffles); only the *message* half is counted per
+        window, carrying over from candidate ``k`` to ``k + 1`` by
+        applying the radius-``k`` delta watchers.  One window therefore
+        costs one pass over (messages x watching machines) at the
+        largest radius probed — no per-candidate or per-window re-count
+        of the static frontier.  In auto mode the peak-hold estimator
+        observes the ``k = 2`` frontier-load fraction each planned
+        window and short-circuits planning to ``k = 1`` while the held
+        peak says even the smallest window is hopelessly over budget.
         """
         if self._max_compress <= 1:
             return 1
@@ -489,9 +723,9 @@ class MPCCongestNetwork(CongestNetwork):
             estimator.window_skipped()
             return 1
         self._ensure_frontier_tables()
+        self.planner_stats["windows_planned"] += 1
         budgets = [m.window_budget_words() for m in self.machines]
         host = self._host
-        state_costs = self._state_costs
         num_machines = self.num_machines
         msgs_by_target: dict[int, list[tuple[int, int]]] = {}
         for target, senders in pending.items():
@@ -505,41 +739,37 @@ class MPCCongestNetwork(CongestNetwork):
                 )
                 for sender, payload in senders.items()
             ]
-        in_words = [0] * num_machines
-        out_words = [0] * num_machines
+        msg_in = [0] * num_machines
+        msg_out = [0] * num_machines
         best = 1
         for k in range(2, self._max_compress + 1):
             # Candidate k needs the frontier at radius k-1; extend the
-            # carried loads by the missing radii (0..k-1 for the first
-            # candidate, just k-1 afterwards).
+            # carried message loads by the missing radii (0..k-1 for the
+            # first candidate, just k-1 afterwards) and pull the state
+            # loads from the cumulative cache.
             radii = range(k) if k == 2 else (k - 1,)
             for radius in radii:
                 delta = self._delta_watchers_at(radius)
-                if radius:
-                    for u in range(self.n):
-                        added = delta[u]
-                        if not added:
-                            continue
-                        cost = state_costs[u]
-                        u_host = host[u]
-                        for mid in added:
-                            in_words[mid] += cost
-                            out_words[u_host] += cost
                 for target, entries in msgs_by_target.items():
                     for mid in delta[target]:
                         for sender_host, cost in entries:
                             if mid != sender_host:
-                                in_words[mid] += cost
-                                out_words[sender_host] += cost
+                                msg_in[mid] += cost
+                                msg_out[sender_host] += cost
+            state_in, state_out = self._state_loads_upto(k - 1)
             if estimator is not None and k == 2:
                 estimator.observe(
                     max(
-                        max(in_words[mid], out_words[mid]) / budgets[mid]
+                        max(
+                            state_in[mid] + msg_in[mid],
+                            state_out[mid] + msg_out[mid],
+                        ) / budgets[mid]
                         for mid in range(num_machines)
                     )
                 )
             if any(
-                in_words[mid] > budgets[mid] or out_words[mid] > budgets[mid]
+                state_in[mid] + msg_in[mid] > budgets[mid]
+                or state_out[mid] + msg_out[mid] > budgets[mid]
                 for mid in range(num_machines)
             ):
                 break
@@ -603,6 +833,82 @@ class MPCCongestNetwork(CongestNetwork):
         return pending
 
 
+class _CompiledShard:
+    """Shard handler for compiled runs: a fixed slice of node algorithms.
+
+    Fork-inherits a full copy of the network and the constructed
+    algorithms; owns the algorithms of its node ids (ascending, so the
+    intra-shard execution order is a subsequence of the serial order).
+    Per ``("round", inbox-slice)`` task it runs each live algorithm's
+    ``on_round`` and funnels the outbox through the inherited
+    :meth:`CongestNetwork._collect` — the exact validation and metering
+    the serial loop applies — into a shard-local pending/stats fragment
+    the parent merges.  ``("finalize", None)`` ships the shard's node
+    state dicts back so the parent network looks post-run to drivers
+    that read ``network.node_state`` directly.
+    """
+
+    def __init__(
+        self,
+        net: "MPCCongestNetwork",
+        algorithms: Sequence[Any],
+        node_ids: Sequence[int],
+    ) -> None:
+        self._net = net
+        self._algs = [algorithms[nid] for nid in node_ids]
+
+    def __call__(self, task: Any) -> dict[str, Any]:
+        kind, inboxes = task
+        net = self._net
+        if kind == "finalize":
+            return {
+                "state": {
+                    alg.node.id: net.node_state[alg.node.id]
+                    for alg in self._algs
+                },
+                "error": None,
+            }
+        pending: dict[int, dict[int, Any]] = collections.defaultdict(dict)
+        stats = RunStats(word_bits=net.word_bits)
+        awake = 0
+        finished: list[tuple[int, Any]] = []
+        error: tuple[int, str, str, str] | None = None
+        for alg in self._algs:
+            if kind != "start" and alg.done:
+                continue
+            try:
+                # "start" runs every algorithm unconditionally, exactly
+                # like the serial loop over ``alg.on_start()``.
+                if kind == "start":
+                    outbox = alg.on_start()
+                else:
+                    awake += 1
+                    inbox = inboxes.get(alg.node.id)
+                    outbox = alg.on_round({} if inbox is None else inbox)
+                net._collect(alg, outbox, pending, stats)
+            except Exception as exc:
+                error = _parallel.describe_error(alg.node.id, exc)
+                break
+            if alg.done:
+                finished.append((alg.node.id, alg.output))
+        return {
+            "pending": [
+                (target, sender, payload)
+                for target, box in pending.items()
+                for sender, payload in box.items()
+            ],
+            "stats": (
+                stats.messages,
+                stats.total_words,
+                stats.max_words_per_edge_round,
+                stats.cut_words,
+            ),
+            "awake": awake,
+            "finished": finished,
+            "error": error,
+        }
+
+
 # -- parity harness ---------------------------------------------------------
 
 
@@ -620,6 +926,7 @@ def solve_with_parity(
     io_factor: float = 8.0,
     compress: int | str = 1,
     collector: Any | None = None,
+    workers: int | None = None,
 ) -> tuple[Any, MPCCongestNetwork, dict[str, Any]]:
     """Run ``solver`` on the MPC backend and on an engine-v2 shadow.
 
@@ -652,6 +959,7 @@ def solve_with_parity(
             collector.on_round if collector is not None else None,
         ),
         compress=compress,
+        workers=workers,
     )
     if collector is not None:
         mpc_net.runtime.on_shuffle = collector.on_shuffle
@@ -696,6 +1004,7 @@ def run_stage_parity(
     prepare: Callable[[CongestNetwork], None] | None = None,
     io_factor: float = 8.0,
     compress: int | str = 1,
+    workers: int | None = None,
 ) -> dict[str, Any]:
     """Stage-level parity check for bare ``NodeAlgorithm`` factories.
 
@@ -709,7 +1018,8 @@ def run_stage_parity(
     stages = list(stages)
     ref_net = CongestNetwork(graph, seed=seed, engine="v2")
     mpc_net = MPCCongestNetwork(
-        graph, alpha=alpha, seed=seed, io_factor=io_factor, compress=compress
+        graph, alpha=alpha, seed=seed, io_factor=io_factor,
+        compress=compress, workers=workers,
     )
     for net in (ref_net, mpc_net):
         net.reset_state()
@@ -743,6 +1053,7 @@ def _solve_on_mpc(
     io_factor: float,
     compress: int | str = 1,
     collector: Any | None = None,
+    workers: int | None = None,
 ):
     """Shared scaffolding of the compiled solver entry points.
 
@@ -756,22 +1067,27 @@ def _solve_on_mpc(
     if check_parity:
         result, net, report = solve_with_parity(
             solver, graph, alpha=alpha, seed=seed, io_factor=io_factor,
-            compress=compress, collector=collector,
+            compress=compress, collector=collector, workers=workers,
         )
     else:
         net = MPCCongestNetwork(
             graph, alpha=alpha, seed=seed, io_factor=io_factor,
             compress=compress,
             on_round=collector.on_round if collector is not None else None,
+            workers=workers,
         )
         if collector is not None:
             net.runtime.on_shuffle = collector.on_shuffle
         result = solver(network=net)
         report = {"parity": False}
+    # The sweep/CLI payload is mpc_summary() verbatim — the worker count
+    # never enters it, so payload digests stay byte-identical across
+    # worker counts; the metrics collector gets it as a variant-section
+    # extra (timing-adjacent provenance, like jobs for the sweep).
     payload = net.mpc_summary()
     payload.update(report)
     if collector is not None:
-        collector.record_mpc(net.mpc_summary())
+        collector.record_mpc({**net.mpc_summary(), "workers": net.workers})
         collector.set_engine(net.engine_name)
     return result, payload
 
@@ -785,6 +1101,7 @@ def solve_mvc_mpc(
     io_factor: float = 8.0,
     compress: int | str = 1,
     collector: Any | None = None,
+    workers: int | None = None,
 ):
     """Algorithm 1 ((1+eps)-MVC of G^2) compiled onto the MPC backend.
 
@@ -798,7 +1115,7 @@ def solve_mvc_mpc(
 
     return _solve_on_mpc(
         solver, graph, alpha, seed, check_parity, io_factor, compress,
-        collector,
+        collector, workers,
     )
 
 
@@ -811,6 +1128,7 @@ def solve_mds_mpc(
     io_factor: float = 8.0,
     compress: int | str = 1,
     collector: Any | None = None,
+    workers: int | None = None,
 ):
     """Theorem 28 (O(log Delta)-MDS of G^2) compiled onto the MPC backend."""
     from repro.core.mds_congest import approx_mds_square
@@ -820,5 +1138,5 @@ def solve_mds_mpc(
 
     return _solve_on_mpc(
         solver, graph, alpha, seed, check_parity, io_factor, compress,
-        collector,
+        collector, workers,
     )

@@ -275,10 +275,13 @@ def mpc_maximal_matching(
     alpha: float = 0.8,
     seed: int = 0,
     io_factor: float = 8.0,
+    workers: int | None = None,
 ) -> MatchingResult:
     """Compute a maximal matching of ``graph`` on the MPC simulator.
 
-    Deterministic for a fixed ``(graph, alpha, seed)``.  Raises
+    Deterministic for a fixed ``(graph, alpha, seed)`` — including the
+    shuffle ledger at any ``workers`` (the process-parallel shard count,
+    resolved from ``REPRO_MPC_WORKERS`` when omitted).  Raises
     :class:`~repro.mpc.machine.MemoryBudgetExceeded` when ``alpha`` is too
     small for the edge partition or the phase traffic.
     """
@@ -289,10 +292,10 @@ def mpc_maximal_matching(
     word_bits = word_bits_for(n)
     label_of, _ = canonical_ids(graph)
     edges, assignment = partition_edges(graph, budget, seed=seed)
-    workers = assignment.num_machines
+    tree_workers = assignment.num_machines
     machines = [
         Machine(mid, budget, io_factor=io_factor)
-        for mid in range(workers + 1)
+        for mid in range(tree_workers + 1)
     ]
     io_budget = machines[_COORDINATOR].io_budget_words
 
@@ -317,10 +320,12 @@ def mpc_maximal_matching(
         1, (io_budget - fan_in * matched_base) // (fan_in * edge_cost)
     )
 
-    shares: dict[int, list[tuple[int, int]]] = {m: [] for m in range(workers)}
+    shares: dict[int, list[tuple[int, int]]] = {
+        m: [] for m in range(tree_workers)
+    }
     for index, edge in enumerate(edges):
         shares[assignment.machine_of[index]].append(edge)
-    total_machines = workers + 1
+    total_machines = tree_workers + 1
     programs: list[MachineProgram] = [
         _Coordinator(
             machines[_COORDINATOR],
@@ -345,7 +350,7 @@ def mpc_maximal_matching(
     # down-and-up wave of <= 2 * depth + 2 rounds.
     max_rounds = (n + 8) * (2 * depth + 2)
     runtime = MPCRuntime(machines, word_bits)
-    result = runtime.run(programs, max_rounds=max_rounds)
+    result = runtime.run(programs, max_rounds=max_rounds, workers=workers)
     matching: set[frozenset] = set()
     matched_vertices: set[int] = set()
     for mid in range(1, total_machines):

@@ -1,0 +1,338 @@
+"""Process-parallel execution of one MPC instance's machines.
+
+The simulator historically ran every machine of an instance machine-major
+in a single interpreter: a 16-machine simulation got zero hardware
+parallelism (the sweep pool only parallelizes *across* cells).  This
+module supplies the missing layer — a pool of **shard workers**, each
+owning a fixed subset of the instance's machines, executing their local
+per-round computation concurrently while every metered shuffle stays a
+barrier in the parent process.
+
+The plumbing deliberately mirrors the sweep runner's fork/pickle-once
+discipline (:mod:`repro.sweep.runner`): the immutable instance state —
+graph, partition, compiled programs/algorithms — crosses into the workers
+exactly once at fork time (inherited copy-on-write under the ``fork``
+start method, the same mechanism that ships the runner's prewarmed graph
+cache), and only small mutable per-round deltas cross the pipes
+afterwards: inbox slices down, ``(pending, stats-delta, finished)``
+fragments up.  Platforms without ``fork`` fall back to the verbatim
+serial path rather than paying a per-round pickle of the whole instance.
+
+**Parity contract.**  Shard workers change *where* local computation
+runs, never *what* the ledger records: every shuffle is executed by the
+parent against the parent's metered :class:`~repro.mpc.runtime.MPCRuntime`
+(the shared shuffle barrier), worker stats deltas are additive (or
+max-combinable) exactly like the serial accumulation, and fragment merge
+order is normalized (ascending sender/machine id — the order the serial
+loop produces).  The ShuffleRecord stream, ``MPCRunStats``, RoundEvents
+and the metrics deterministic section are therefore byte-identical at any
+worker count; ``tests/test_mpc_parallel.py`` enforces this
+differentially.
+
+**Typed error transport.**  An exception raised inside a shard worker —
+canonically :class:`~repro.mpc.machine.MemoryBudgetExceeded` from a
+``Machine.charge`` during ``on_round`` — is shipped back as ``(unit id,
+exception module, qualname, message)`` and re-raised in the parent as the
+*same* exception type with the *same* message, never as a pickling or
+``BrokenProcessPool`` error.  When several units fail in one round the
+parent raises the smallest unit id's error: per-round unit computations
+are independent, so that is exactly the error the serial ascending-id
+loop would have hit first.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+from collections.abc import Callable, Sequence
+from typing import Any
+
+#: Environment override for the default worker count: every MPC execution
+#: entry point that is not handed an explicit ``workers`` resolves it from
+#: this variable (then falls back to 1, the serial path).  Because the
+#: value is read at network/runtime construction time, exporting it turns
+#: a whole sweep parallel without touching any cell coordinates — which is
+#: how the parity acceptance gate runs one grid at several worker counts
+#: and byte-compares the ledgers.
+WORKERS_ENV_VAR = "REPRO_MPC_WORKERS"
+
+#: Sentinel shutting down a shard worker's command loop.
+_STOP = "__repro_mpc_shard_stop__"
+
+
+class WorkerCrashError(RuntimeError):
+    """A shard worker died without reporting a typed error.
+
+    Distinct from any model-level exception: seeing this means the worker
+    process itself was lost (killed, segfaulted), not that the simulated
+    machine exceeded a budget.
+    """
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective worker count: explicit value, else env override, else 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR} must be an integer >= 1, got {raw!r}"
+            ) from None
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def fork_available() -> bool:
+    """Whether the fork-inherit worker plumbing can run on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def plan_shards(num_units: int, workers: int) -> list[tuple[int, ...]]:
+    """Partition unit ids ``0..num_units-1`` round-robin into shards.
+
+    Returns at most ``workers`` non-empty ascending tuples.  Round-robin
+    (unit ``u`` to shard ``u % workers``) balances machine counts without
+    looking at loads; the LPT partitioner already balanced words per
+    machine, so machine count is the right proxy here.
+    """
+    if num_units < 1:
+        raise ValueError("num_units must be >= 1")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    workers = min(workers, num_units)
+    shards = [
+        tuple(range(w, num_units, workers)) for w in range(workers)
+    ]
+    return [shard for shard in shards if shard]
+
+
+def describe_error(unit: int, exc: BaseException) -> tuple[int, str, str, str]:
+    """Portable description of a worker-side exception, tagged by unit id."""
+    cls = type(exc)
+    return (unit, cls.__module__, cls.__qualname__, str(exc))
+
+
+def rebuild_exception(
+    module: str, qualname: str, message: str
+) -> BaseException:
+    """Reconstruct a worker-side exception as its original type.
+
+    All model-level errors (``MemoryBudgetExceeded``, ``ProtocolError``,
+    ``CongestionError``, ...) are message-only exception classes, so
+    ``cls(message)`` round-trips them exactly.  Anything that cannot be
+    re-imported or re-instantiated degrades to a ``RuntimeError`` carrying
+    the original type name and message — never a pickling error.
+    """
+    cls: Any = None
+    try:
+        obj: Any = importlib.import_module(module)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        if isinstance(obj, type) and issubclass(obj, BaseException):
+            cls = obj
+    except Exception:
+        cls = None
+    if cls is not None:
+        try:
+            return cls(message)
+        except Exception:
+            pass
+    return RuntimeError(f"{module}.{qualname}: {message}")
+
+
+def raise_shard_error(frags: Sequence[dict[str, Any]]) -> None:
+    """Re-raise the smallest-unit-id error embedded in round fragments.
+
+    Per-round unit computations are independent of each other, so the
+    smallest failing unit id is exactly the failure the serial
+    ascending-id loop would have raised first — type and message included.
+    """
+    errors = [frag["error"] for frag in frags if frag.get("error")]
+    if not errors:
+        return
+    _unit, module, qualname, message = min(errors, key=lambda e: e[0])
+    raise rebuild_exception(module, qualname, message)
+
+
+def _shard_main(conn, handler: Callable[[Any], Any]) -> None:
+    """A shard worker's command loop: recv task, run handler, send result.
+
+    Handler-level failures are expected to be embedded in the handler's
+    own result (with unit attribution); this outer catch is the transport
+    backstop for bugs in the plumbing itself.
+    """
+    try:
+        while True:
+            try:
+                task = conn.recv()
+            except EOFError:
+                return
+            if task == _STOP:
+                return
+            try:
+                result = ("ok", handler(task))
+            except BaseException as exc:
+                result = (
+                    "fail",
+                    (type(exc).__module__, type(exc).__qualname__, str(exc)),
+                )
+            try:
+                conn.send(result)
+            except (BrokenPipeError, OSError):
+                return
+    finally:
+        conn.close()
+
+
+class ForkShardPool:
+    """A pool of persistent fork-inherited shard workers.
+
+    ``handlers[i]`` is a callable (typically a closure over the instance's
+    immutable state plus shard ``i``'s mutable units) that each worker
+    executes for every task it receives.  The pool is a context manager;
+    exiting it shuts the workers down.  One :meth:`step` is one barrier:
+    all workers receive a task, all results are collected before the
+    caller proceeds — the process-level analogue of the model's
+    synchronous round.
+    """
+
+    def __init__(self, handlers: Sequence[Callable[[Any], Any]]) -> None:
+        if not handlers:
+            raise ValueError("pool needs at least one shard handler")
+        if not fork_available():  # pragma: no cover - platform-specific
+            raise RuntimeError(
+                "ForkShardPool requires the 'fork' start method; callers "
+                "must fall back to serial execution on this platform"
+            )
+        ctx = multiprocessing.get_context("fork")
+        self._conns: list[Any] = []
+        self._procs: list[Any] = []
+        try:
+            for handler in handlers:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_main,
+                    args=(child_conn, handler),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        except BaseException:
+            self.close()
+            raise
+
+    def __enter__(self) -> "ForkShardPool":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._conns)
+
+    def step(self, tasks: Sequence[Any]) -> list[Any]:
+        """Send one task per shard, collect one result per shard."""
+        if len(tasks) != len(self._conns):
+            raise ValueError(
+                f"expected {len(self._conns)} tasks, got {len(tasks)}"
+            )
+        for conn, task in zip(self._conns, tasks):
+            conn.send(task)
+        results: list[Any] = []
+        failure: tuple[str, str, str] | None = None
+        for index, conn in enumerate(self._conns):
+            try:
+                status, value = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerCrashError(
+                    f"MPC shard worker {index} died mid-round"
+                ) from exc
+            if status == "fail":
+                # Keep draining the remaining pipes so the pool stays
+                # usable for shutdown, then raise the first failure.
+                if failure is None:
+                    failure = value
+                continue
+            results.append(value)
+        if failure is not None:
+            raise rebuild_exception(*failure)
+        return results
+
+    def step_all(self, task: Any) -> list[Any]:
+        """Broadcast one task to every shard (e.g. ``("start", None)``)."""
+        return self.step([task] * len(self._conns))
+
+    def close(self) -> None:
+        """Shut every worker down; idempotent."""
+        for conn in self._conns:
+            try:
+                conn.send(_STOP)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._conns = []
+        self._procs = []
+
+
+class ProgramShard:
+    """Shard handler for native :class:`~repro.mpc.machine.MachineProgram`s.
+
+    Owns the programs of its machine ids (ascending) and advances them one
+    task at a time: ``("start", None)`` runs every ``on_start``;
+    ``("round", {mid: inbox})`` runs every live program's ``on_round``.
+    Returns outboxes (materialized — generators cannot cross a pipe),
+    newly finished ``(mid, output)`` pairs, and at most one typed error.
+    The final ``("finalize", None)`` ships the shard's program objects
+    back so the parent can mirror their post-run state (a serial run
+    mutates the caller's objects in place; the parallel path must look
+    the same to callers that read program attributes afterwards).
+    """
+
+    def __init__(
+        self, programs: Sequence[Any], machine_ids: Sequence[int]
+    ) -> None:
+        self._programs = [(mid, programs[mid]) for mid in sorted(machine_ids)]
+
+    def __call__(self, task: Any) -> dict[str, Any]:
+        kind, inboxes = task
+        if kind == "finalize":
+            return {"programs": list(self._programs), "error": None}
+        sent: list[tuple[int, list[Any]]] = []
+        finished: list[tuple[int, Any]] = []
+        error: tuple[int, str, str, str] | None = None
+        for mid, prog in self._programs:
+            if kind != "start" and prog.done:
+                continue
+            try:
+                # "start" runs unconditionally, exactly like the serial
+                # list comprehension over every program.
+                if kind == "start":
+                    outbox = prog.on_start()
+                else:
+                    outbox = prog.on_round(inboxes.get(mid, []))
+                outbox = None if outbox is None else list(outbox)
+            except Exception as exc:
+                error = describe_error(mid, exc)
+                break
+            if outbox:
+                sent.append((mid, outbox))
+            if prog.done:
+                finished.append((mid, prog.output))
+        return {"outboxes": sent, "finished": finished, "error": error}

@@ -287,6 +287,7 @@ class MPCRuntime:
         self,
         programs: Sequence[MachineProgram],
         max_rounds: int | None = None,
+        workers: int | None = None,
     ) -> MPCRunResult:
         """Run one program per machine until all finish.
 
@@ -296,6 +297,14 @@ class MPCRuntime:
         a final outbox in the round it finishes (still delivered).  Raises
         :class:`~repro.congest.errors.RoundLimitError` when the programs
         do not terminate within ``max_rounds``.
+
+        ``workers`` > 1 executes the per-machine local computation on a
+        pool of forked shard workers (:mod:`repro.mpc.parallel`), with
+        every shuffle still a parent-side barrier — the shuffle ledger,
+        stats, outputs and raised errors are identical to the serial path
+        at any worker count.  ``None`` resolves the count from the
+        ``REPRO_MPC_WORKERS`` environment override (default 1); platforms
+        without the ``fork`` start method always take the serial path.
         """
         if len(programs) != self.num_machines:
             raise ValueError(
@@ -303,6 +312,11 @@ class MPCRuntime:
             )
         if max_rounds is None:
             max_rounds = DEFAULT_MAX_ROUNDS
+        from repro.mpc import parallel as _parallel
+
+        effective = min(_parallel.resolve_workers(workers), len(programs))
+        if effective > 1 and _parallel.fork_available():
+            return self._run_parallel(programs, max_rounds, effective)
         trace_start = len(self.trace)
         rounds_before = self.stats.rounds
         outboxes: list[Any] = [prog.on_start() for prog in programs]
@@ -325,6 +339,83 @@ class MPCRuntime:
         # the loop above only shuffles while someone is live.
         if any(outboxes):
             self.shuffle(outboxes, active=0)
+        return self._finish_run(programs, trace_start)
+
+    def _run_parallel(
+        self,
+        programs: Sequence[MachineProgram],
+        max_rounds: int,
+        workers: int,
+    ) -> MPCRunResult:
+        """The machine-parallel twin of :meth:`run`'s serial loop.
+
+        Programs execute on forked shard workers; the parent keeps the
+        done-set, shuffles every round's outboxes through its own metered
+        :meth:`shuffle` (so budget violations on the shuffle raise here,
+        identically to serial), and re-raises worker-side typed errors —
+        smallest machine id first, the order the serial loop fails in.
+        After the run the workers' final program objects are mirrored back
+        onto the caller's, storage accounting included, so post-run reads
+        (e.g. a coordinator's phase counter) see serial-identical state.
+        """
+        from repro.mpc import parallel as _parallel
+
+        m = self.num_machines
+        shards = _parallel.plan_shards(m, workers)
+        handlers = [
+            _parallel.ProgramShard(programs, shard) for shard in shards
+        ]
+        trace_start = len(self.trace)
+        rounds_before = self.stats.rounds
+        done: set[int] = set()
+        outboxes: list[Any] = [None] * m
+
+        def absorb(frags: list[dict[str, Any]]) -> None:
+            _parallel.raise_shard_error(frags)
+            for frag in frags:
+                for mid, outbox in frag["outboxes"]:
+                    outboxes[mid] = outbox
+                for mid, _output in frag["finished"]:
+                    done.add(mid)
+
+        with _parallel.ForkShardPool(handlers) as pool:
+            absorb(pool.step_all(("start", None)))
+            while len(done) < m:
+                if self.stats.rounds - rounds_before >= max_rounds:
+                    raise RoundLimitError(
+                        f"no termination within {max_rounds} shuffle rounds "
+                        f"({m - len(done)} machines alive)"
+                    )
+                live = m - len(done)
+                inboxes = self.shuffle(outboxes, active=live)
+                outboxes = [None] * m
+                tasks = [
+                    (
+                        "round",
+                        {
+                            mid: inboxes[mid]
+                            for mid in shard
+                            if mid not in done and inboxes[mid]
+                        },
+                    )
+                    for shard in shards
+                ]
+                absorb(pool.step(tasks))
+            if any(outboxes):
+                self.shuffle(outboxes, active=0)
+            for frag in pool.step_all(("finalize", None)):
+                for mid, worker_prog in frag["programs"]:
+                    prog = programs[mid]
+                    machine = prog.machine
+                    machine.stored_words = worker_prog.machine.stored_words
+                    worker_prog.machine = machine
+                    prog.__dict__.update(worker_prog.__dict__)
+        return self._finish_run(programs, trace_start)
+
+    def _finish_run(
+        self, programs: Sequence[MachineProgram], trace_start: int
+    ) -> MPCRunResult:
+        """Fold this run's trace slice into a per-run stats object."""
         run_trace = self.trace[trace_start:]
         stats = MPCRunStats(word_bits=self.word_bits)
         for record in run_trace:

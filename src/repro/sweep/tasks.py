@@ -128,11 +128,24 @@ def _compress_of(cell: Cell) -> int | str:
     return int(compress)
 
 
+def _workers_of(cell: Cell) -> int | None:
+    """A cell's MPC shard-worker count, or ``None`` to use the default.
+
+    ``None`` lets the network resolve the count from ``REPRO_MPC_WORKERS``
+    (then 1), which is how named grids run parallel without changing cell
+    coordinates.  The payload is identical at any value — worker count is
+    an execution detail, not a workload axis — so it never enters the
+    payload digests the runner compares.
+    """
+    workers = cell.param("mpc_workers")
+    return None if workers is None else int(workers)
+
+
 #: Cell coordinates that select a backend variant rather than a workload;
 #: they must stay out of the metrics label, which sits inside the
 #: deterministic section and therefore must be byte-identical across
-#: engines and compression windows on the same workload.
-_VARIANT_PARAMS = frozenset({"compress", "parity", "metrics"})
+#: engines, compression windows and worker counts on the same workload.
+_VARIANT_PARAMS = frozenset({"compress", "parity", "metrics", "mpc_workers"})
 
 
 def _metrics_label(cell: Cell) -> str:
@@ -384,6 +397,7 @@ def _mpc_mvc(cell: Cell) -> dict[str, Any]:
         check_parity=bool(cell.param("parity", False)),
         compress=_compress_of(cell),
         collector=collector,
+        workers=_workers_of(cell),
     )
     assert_vertex_cover(square(graph), result.cover)
     payload: dict[str, Any] = {
@@ -414,6 +428,7 @@ def _mpc_mds(cell: Cell) -> dict[str, Any]:
         check_parity=bool(cell.param("parity", False)),
         compress=_compress_of(cell),
         collector=collector,
+        workers=_workers_of(cell),
     )
     assert_dominating_set(square(graph), result.cover)
     payload: dict[str, Any] = {
@@ -444,7 +459,9 @@ def _mpc_matching(cell: Cell) -> dict[str, Any]:
 
     alpha = float(cell.param("alpha", 0.8))
     graph = _cell_graph(cell)
-    result = mpc_maximal_matching(graph, alpha=alpha, seed=cell.seed)
+    result = mpc_maximal_matching(
+        graph, alpha=alpha, seed=cell.seed, workers=_workers_of(cell)
+    )
     assert_maximal_matching(graph, result.matching)
     oracle = deterministic_maximal_matching(graph)
     if oracle and not (
@@ -501,8 +518,11 @@ def _mpc_parity(cell: Cell) -> dict[str, Any]:
         seed=cell.seed,
         prepare=prepare,
         compress=_compress_of(cell),
+        workers=_workers_of(cell),
     )
-    matching = mpc_maximal_matching(graph, alpha=alpha, seed=cell.seed)
+    matching = mpc_maximal_matching(
+        graph, alpha=alpha, seed=cell.seed, workers=_workers_of(cell)
+    )
     assert_maximal_matching(graph, matching.matching)
     oracle = deterministic_maximal_matching(graph)
     return {
