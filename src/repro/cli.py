@@ -166,6 +166,44 @@ def _check_mpc_workers(args: argparse.Namespace) -> int | None:
     return None
 
 
+def _check_faults(args: argparse.Namespace) -> int | None:
+    """Validate --faults; returns an exit code on error, else None."""
+    faults = getattr(args, "faults", None)
+    if faults is None:
+        return None
+    if args.model != "mpc":
+        print(
+            "error: --faults injects crashes into the MPC shard pool and "
+            "shuffle plane; it requires --model mpc",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.faults import FaultPlan
+
+    try:
+        FaultPlan.from_spec(faults, seed=getattr(args, "seed", 0))
+    except ValueError as exc:
+        print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+        return 2
+    return None
+
+
+def _print_fault_report(payload: dict) -> None:
+    """One-line fault/recovery summary after the MPC ledger, if any."""
+    report = payload.get("faults")
+    if not report:
+        return
+    injected = report["injected"]
+    line = (
+        f"faults: crash={injected['crash']} straggle={injected['straggle']} "
+        f"mem={injected['mem']} recoveries={report['recoveries']} "
+        f"pending={report['pending']}"
+    )
+    if report["degraded"]:
+        line += "  DEGRADED to in-process serial execution"
+    print(line)
+
+
 def _resolved_mpc_workers(args: argparse.Namespace) -> int:
     """The worker count a run will use (explicit flag, else env, else 1)."""
     from repro.mpc.parallel import resolve_workers
@@ -210,6 +248,8 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
     code = _check_compress(args)
     if code is None:
         code = _check_mpc_workers(args)
+    if code is None:
+        code = _check_faults(args)
     if code is not None:
         return code
     collector, code = _make_collector(args, "mvc")
@@ -237,10 +277,11 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
         result, mpc_payload = solve_mvc_mpc(
             graph, args.eps, alpha=args.alpha, seed=args.seed,
             check_parity=True, compress=args.compress, collector=collector,
-            workers=args.mpc_workers,
+            workers=args.mpc_workers, faults=args.faults,
         )
         cover, rounds = result.cover, result.stats.rounds
         _print_mpc_ledger(mpc_payload, workers=_resolved_mpc_workers(args))
+        _print_fault_report(mpc_payload)
     elif args.model == "clique-det":
         result = approx_mvc_square_clique_deterministic(
             graph, args.eps, seed=args.seed, engine=args.engine
@@ -277,6 +318,8 @@ def _cmd_mds(args: argparse.Namespace) -> int:
     code = _check_compress(args)
     if code is None:
         code = _check_mpc_workers(args)
+    if code is None:
+        code = _check_faults(args)
     if code is not None:
         return code
     collector, code = _make_collector(args, "mds")
@@ -292,9 +335,10 @@ def _cmd_mds(args: argparse.Namespace) -> int:
         result, mpc_payload = solve_mds_mpc(
             graph, alpha=args.alpha, seed=args.seed, check_parity=True,
             compress=args.compress, collector=collector,
-            workers=args.mpc_workers,
+            workers=args.mpc_workers, faults=args.faults,
         )
         _print_mpc_ledger(mpc_payload, workers=_resolved_mpc_workers(args))
+        _print_fault_report(mpc_payload)
     elif collector is not None:
         from repro.congest.network import CongestNetwork
 
@@ -501,6 +545,11 @@ def _sweep_grid_from_args(args: argparse.Namespace) -> GridSpec:
                 "named grids fix their model, alphas and compression per "
                 "cell"
             )
+        if args.faults:
+            raise SystemExit(
+                "--faults applies to ad-hoc --task grids; named grids fix "
+                "their fault plans per cell (see the mpc-chaos grid)"
+            )
         return named_grid(args.grid)
     if args.task is None:
         raise SystemExit("sweep requires --grid NAME or --task NAME")
@@ -528,6 +577,17 @@ def _sweep_grid_from_args(args: argparse.Namespace) -> GridSpec:
         if args.model != "mpc":
             raise SystemExit("--mpc-workers requires --model mpc")
         workers_axis = _parse_mpc_workers(args.mpc_workers) or (1,)
+    faults_param: tuple[tuple[str, object], ...] = ()
+    if args.faults:
+        if args.model != "mpc":
+            raise SystemExit("--faults requires --model mpc")
+        from repro.faults import FaultPlan
+
+        try:
+            FaultPlan.from_spec(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"--faults: {exc}")
+        faults_param = (("faults", args.faults),)
     metrics_param: tuple[tuple[str, object], ...] = ()
     if args.metrics is not None:
         from repro.sweep.tasks import METRICS_TASKS
@@ -558,7 +618,7 @@ def _sweep_grid_from_args(args: argparse.Namespace) -> GridSpec:
     for alpha in alphas or (None,):
         for compress in compressions:
             for workers in workers_axis:
-                params = metrics_param
+                params = metrics_param + faults_param
                 if alpha is not None:
                     params += (("alpha", alpha),)
                 if compress != 1:
@@ -613,7 +673,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         os.environ[WORKERS_ENV_VAR] = str(env_workers)
     try:
         sweep = run_sweep(
-            grid, jobs=args.jobs, timeout=args.timeout, repeats=args.repeats
+            grid,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            repeats=args.repeats,
+            retries=args.retries,
         )
     finally:
         if env_workers is not None:
@@ -728,6 +792,15 @@ def build_parser() -> argparse.ArgumentParser:
         "the shuffle ledger and outputs are identical at any count",
     )
     mvc.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="mpc model only: comma-separated fault plan (crash@B[:T], "
+        "straggle@B[:D], mem@B[:M], max_recoveries=N) injected into the "
+        "run; crashed shard workers recover from checkpointed shuffle "
+        "barriers with byte-identical outputs",
+    )
+    mvc.add_argument(
         "--metrics",
         default=None,
         metavar="PATH",
@@ -778,6 +851,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="mpc model only: shard the machines over this many forked "
         "worker processes (default: REPRO_MPC_WORKERS env or 1 = serial); "
         "the shuffle ledger and outputs are identical at any count",
+    )
+    mds.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="mpc model only: comma-separated fault plan (crash@B[:T], "
+        "straggle@B[:D], mem@B[:M], max_recoveries=N) injected into the "
+        "run; crashed shard workers recover from checkpointed shuffle "
+        "barriers with byte-identical outputs",
     )
     mds.add_argument(
         "--metrics",
@@ -907,6 +989,15 @@ def build_parser() -> argparse.ArgumentParser:
         "cell coordinates)",
     )
     sweep.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="ad-hoc --model mpc grids only: fault plan applied to every "
+        "cell (crash@B[:T], straggle@B[:D], mem@B[:M], max_recoveries=N); "
+        "payloads and the deterministic digest are identical to a "
+        "fault-free sweep",
+    )
+    sweep.add_argument(
         "--metrics",
         default=None,
         metavar="PATH",
@@ -932,6 +1023,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="best-of-N timing repeats per cell",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-evaluate cells that fail transiently (worker crashes, "
+        "timeouts) up to N extra times with deterministic backoff; the "
+        "attempt count is recorded in the timing-scoped JSON only",
     )
     sweep.add_argument(
         "--json",

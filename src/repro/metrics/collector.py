@@ -70,6 +70,7 @@ class MetricsCollector:
         self.shuffle_records: list[Any] = []
         self.engine: str | None = None
         self.mpc: dict[str, Any] | None = None
+        self.faults: dict[str, Any] | None = None
 
     # -- the hooks ---------------------------------------------------------
 
@@ -122,6 +123,16 @@ class MetricsCollector:
         local computation runs, never what the ledger records.
         """
         self.mpc = summary
+
+    def record_faults(self, report: dict[str, Any]) -> None:
+        """Store the fault-injection/recovery report for the variant.
+
+        Fault plans live in the variant section for the same reason as
+        worker count: the recovery contract makes the deterministic
+        section byte-identical with and without injected faults, and
+        this report is the record of what was survived to prove it.
+        """
+        self.faults = report
 
     # -- aggregation -------------------------------------------------------
 
@@ -200,6 +211,8 @@ class MetricsCollector:
             }
         if self.mpc is not None:
             payload["mpc"] = self.mpc
+        if self.faults is not None:
+            payload["faults"] = self.faults
         return payload
 
     def to_json(self) -> dict[str, Any]:

@@ -122,6 +122,7 @@ class MPCCongestNetwork(CongestNetwork):
         on_round: Callable[[RoundEvent], None] | None = None,
         compress: int | str = 1,
         workers: int | None = None,
+        faults: Any = None,
     ) -> None:
         # The base class insists on building an engine; pin "v1" so the
         # construction never depends on REPRO_ENGINE.  It is never used —
@@ -194,6 +195,24 @@ class MPCCongestNetwork(CongestNetwork):
         #: Shard-worker count for process-parallel execution; resolved
         #: from the ``REPRO_MPC_WORKERS`` override when not explicit.
         self.workers = _parallel.resolve_workers(workers)
+        #: Fault-injection plane: ``faults`` is a spec string or
+        #: :class:`~repro.faults.plan.FaultPlan`; attaching one enables
+        #: checkpointed crash recovery on the shard pool.  ``None`` (the
+        #: default) leaves the fault-free hot path untouched.
+        self.fault_injector = None
+        self._recovery = None
+        if faults:
+            from repro.faults import FaultInjector, FaultPlan, RecoveryConfig
+
+            plan = (
+                FaultPlan.from_spec(faults, seed=seed)
+                if isinstance(faults, str)
+                else faults
+            )
+            self.fault_injector = FaultInjector(plan)
+            self._recovery = RecoveryConfig(max_recoveries=plan.max_recoveries)
+            self.runtime.fault_injector = self.fault_injector
+            self.runtime.recovery = self._recovery
 
     @property
     def engine_name(self) -> str:
@@ -223,6 +242,17 @@ class MPCCongestNetwork(CongestNetwork):
             auto["cap"] = self._max_compress
             summary["auto"] = auto
         return summary
+
+    def fault_report(self) -> dict[str, Any] | None:
+        """Injected-fault/recovery summary, or ``None`` when fault-free.
+
+        Deliberately *not* part of :meth:`mpc_summary`: the summary is
+        the parity-compared ledger, and the whole point of the recovery
+        contract is that it is byte-identical with and without faults.
+        """
+        if self.fault_injector is None:
+            return None
+        return self.fault_injector.report()
 
     # -- compiled execution -------------------------------------------------
 
@@ -394,7 +424,9 @@ class MPCCongestNetwork(CongestNetwork):
                 pending[target].update(items)
             return pending
 
-        with _parallel.ForkShardPool(handlers) as pool:
+        with _parallel.ForkShardPool(
+            handlers, injector=self.fault_injector, recovery=self._recovery
+        ) as pool:
             pending = merge(pool.step_all(("start", None)))
             self._emit(timeline, hook, 0, stats.messages, stats.total_words,
                        len(algorithms), stats.cut_words,
@@ -846,6 +878,13 @@ class _CompiledShard:
     the parent merges.  ``("finalize", None)`` ships the shard's node
     state dicts back so the parent network looks post-run to drivers
     that read ``network.node_state`` directly.
+
+    ``("checkpoint", None)`` snapshots each algorithm's mutable state —
+    its ``__dict__`` (minus the node view), the node's state dict and
+    RNG state — and ``("restore", blob)`` applies one in place.  The
+    state dict is restored in place (clear + update) because
+    ``alg.node.state`` aliases ``network.node_state[nid]``; replacing
+    the dict object would silently detach the two views.
     """
 
     def __init__(
@@ -857,9 +896,39 @@ class _CompiledShard:
         self._net = net
         self._algs = [algorithms[nid] for nid in node_ids]
 
+    def _checkpoint(self) -> list[tuple[int, dict[str, Any], dict[Any, Any], Any]]:
+        return [
+            (
+                alg.node.id,
+                {k: v for k, v in alg.__dict__.items() if k != "node"},
+                dict(self._net.node_state[alg.node.id]),
+                alg.node.rng.getstate(),
+            )
+            for alg in self._algs
+        ]
+
+    def _restore(self, blob: Sequence[Any]) -> None:
+        for (nid, attrs, state, rng_state), alg in zip(blob, self._algs):
+            if nid != alg.node.id:  # pragma: no cover - plumbing bug guard
+                raise RuntimeError(
+                    f"checkpoint blob for node {nid} applied to {alg.node.id}"
+                )
+            node_state = self._net.node_state[nid]
+            node_state.clear()
+            node_state.update(state)
+            alg.node.rng.setstate(rng_state)
+            for key in [k for k in alg.__dict__ if k != "node"]:
+                del alg.__dict__[key]
+            alg.__dict__.update(attrs)
+
     def __call__(self, task: Any) -> dict[str, Any]:
         kind, inboxes = task
         net = self._net
+        if kind == "checkpoint":
+            return self._checkpoint()
+        if kind == "restore":
+            self._restore(inboxes)
+            return {"restored": len(self._algs), "error": None}
         if kind == "finalize":
             return {
                 "state": {
@@ -927,6 +996,7 @@ def solve_with_parity(
     compress: int | str = 1,
     collector: Any | None = None,
     workers: int | None = None,
+    faults: Any = None,
 ) -> tuple[Any, MPCCongestNetwork, dict[str, Any]]:
     """Run ``solver`` on the MPC backend and on an engine-v2 shadow.
 
@@ -960,6 +1030,7 @@ def solve_with_parity(
         ),
         compress=compress,
         workers=workers,
+        faults=faults,
     )
     if collector is not None:
         mpc_net.runtime.on_shuffle = collector.on_shuffle
@@ -1005,6 +1076,7 @@ def run_stage_parity(
     io_factor: float = 8.0,
     compress: int | str = 1,
     workers: int | None = None,
+    faults: Any = None,
 ) -> dict[str, Any]:
     """Stage-level parity check for bare ``NodeAlgorithm`` factories.
 
@@ -1019,7 +1091,7 @@ def run_stage_parity(
     ref_net = CongestNetwork(graph, seed=seed, engine="v2")
     mpc_net = MPCCongestNetwork(
         graph, alpha=alpha, seed=seed, io_factor=io_factor,
-        compress=compress, workers=workers,
+        compress=compress, workers=workers, faults=faults,
     )
     for net in (ref_net, mpc_net):
         net.reset_state()
@@ -1054,6 +1126,7 @@ def _solve_on_mpc(
     compress: int | str = 1,
     collector: Any | None = None,
     workers: int | None = None,
+    faults: Any = None,
 ):
     """Shared scaffolding of the compiled solver entry points.
 
@@ -1068,6 +1141,7 @@ def _solve_on_mpc(
         result, net, report = solve_with_parity(
             solver, graph, alpha=alpha, seed=seed, io_factor=io_factor,
             compress=compress, collector=collector, workers=workers,
+            faults=faults,
         )
     else:
         net = MPCCongestNetwork(
@@ -1075,6 +1149,7 @@ def _solve_on_mpc(
             compress=compress,
             on_round=collector.on_round if collector is not None else None,
             workers=workers,
+            faults=faults,
         )
         if collector is not None:
             net.runtime.on_shuffle = collector.on_shuffle
@@ -1086,8 +1161,16 @@ def _solve_on_mpc(
     # extra (timing-adjacent provenance, like jobs for the sweep).
     payload = net.mpc_summary()
     payload.update(report)
+    # The fault/recovery report rides outside mpc_summary(): it is
+    # deterministic given (plan, seed) — safe in sweep payload digests —
+    # but must never enter the parity-compared ledger itself.
+    fault_report = net.fault_report()
+    if fault_report is not None:
+        payload["faults"] = fault_report
     if collector is not None:
         collector.record_mpc({**net.mpc_summary(), "workers": net.workers})
+        if fault_report is not None:
+            collector.record_faults(fault_report)
         collector.set_engine(net.engine_name)
     return result, payload
 
@@ -1102,6 +1185,7 @@ def solve_mvc_mpc(
     compress: int | str = 1,
     collector: Any | None = None,
     workers: int | None = None,
+    faults: Any = None,
 ):
     """Algorithm 1 ((1+eps)-MVC of G^2) compiled onto the MPC backend.
 
@@ -1115,7 +1199,7 @@ def solve_mvc_mpc(
 
     return _solve_on_mpc(
         solver, graph, alpha, seed, check_parity, io_factor, compress,
-        collector, workers,
+        collector, workers, faults,
     )
 
 
@@ -1129,6 +1213,7 @@ def solve_mds_mpc(
     compress: int | str = 1,
     collector: Any | None = None,
     workers: int | None = None,
+    faults: Any = None,
 ):
     """Theorem 28 (O(log Delta)-MDS of G^2) compiled onto the MPC backend."""
     from repro.core.mds_congest import approx_mds_square
@@ -1138,5 +1223,5 @@ def solve_mds_mpc(
 
     return _solve_on_mpc(
         solver, graph, alpha, seed, check_parity, io_factor, compress,
-        collector, workers,
+        collector, workers, faults,
     )

@@ -82,6 +82,9 @@ class MatchingResult:
     budget_words: int
     partition_digest: str
     stats: MPCRunStats
+    #: Fault/recovery report when a fault plan was attached; kept out of
+    #: :meth:`summary` so the parity-compared ledger never sees it.
+    faults: dict[str, Any] | None = None
 
     def __len__(self) -> int:
         return len(self.matching)
@@ -276,6 +279,7 @@ def mpc_maximal_matching(
     seed: int = 0,
     io_factor: float = 8.0,
     workers: int | None = None,
+    faults: Any = None,
 ) -> MatchingResult:
     """Compute a maximal matching of ``graph`` on the MPC simulator.
 
@@ -283,7 +287,10 @@ def mpc_maximal_matching(
     shuffle ledger at any ``workers`` (the process-parallel shard count,
     resolved from ``REPRO_MPC_WORKERS`` when omitted).  Raises
     :class:`~repro.mpc.machine.MemoryBudgetExceeded` when ``alpha`` is too
-    small for the edge partition or the phase traffic.
+    small for the edge partition or the phase traffic.  ``faults`` (a
+    spec string or :class:`~repro.faults.plan.FaultPlan`) attaches the
+    fault-injection plane with checkpointed crash recovery; the ledger
+    and matching are unchanged by recovered faults.
     """
     if graph.number_of_nodes() == 0:
         raise ValueError("graph must be non-empty")
@@ -350,6 +357,18 @@ def mpc_maximal_matching(
     # down-and-up wave of <= 2 * depth + 2 rounds.
     max_rounds = (n + 8) * (2 * depth + 2)
     runtime = MPCRuntime(machines, word_bits)
+    fault_injector = None
+    if faults:
+        from repro.faults import FaultInjector, FaultPlan, RecoveryConfig
+
+        plan = (
+            FaultPlan.from_spec(faults, seed=seed)
+            if isinstance(faults, str)
+            else faults
+        )
+        fault_injector = FaultInjector(plan)
+        runtime.fault_injector = fault_injector
+        runtime.recovery = RecoveryConfig(max_recoveries=plan.max_recoveries)
     result = runtime.run(programs, max_rounds=max_rounds, workers=workers)
     matching: set[frozenset] = set()
     matched_vertices: set[int] = set()
@@ -369,6 +388,7 @@ def mpc_maximal_matching(
         budget_words=budget,
         partition_digest=assignment.digest(),
         stats=result.stats,
+        faults=None if fault_injector is None else fault_injector.report(),
     )
 
 

@@ -45,6 +45,8 @@ from __future__ import annotations
 import importlib
 import multiprocessing
 import os
+import signal
+import warnings
 from collections.abc import Callable, Sequence
 from typing import Any
 
@@ -112,10 +114,18 @@ def plan_shards(num_units: int, workers: int) -> list[tuple[int, ...]]:
     return [shard for shard in shards if shard]
 
 
+def safe_message(exc: BaseException) -> str:
+    """``str(exc)`` that never raises, even for a broken ``__str__``."""
+    try:
+        return str(exc)
+    except Exception:
+        return f"<unprintable {type(exc).__name__} exception>"
+
+
 def describe_error(unit: int, exc: BaseException) -> tuple[int, str, str, str]:
     """Portable description of a worker-side exception, tagged by unit id."""
     cls = type(exc)
-    return (unit, cls.__module__, cls.__qualname__, str(exc))
+    return (unit, cls.__module__, cls.__qualname__, safe_message(exc))
 
 
 def rebuild_exception(
@@ -180,7 +190,11 @@ def _shard_main(conn, handler: Callable[[Any], Any]) -> None:
             except BaseException as exc:
                 result = (
                     "fail",
-                    (type(exc).__module__, type(exc).__qualname__, str(exc)),
+                    (
+                        type(exc).__module__,
+                        type(exc).__qualname__,
+                        safe_message(exc),
+                    ),
                 )
             try:
                 conn.send(result)
@@ -200,9 +214,39 @@ class ForkShardPool:
     all workers receive a task, all results are collected before the
     caller proceeds — the process-level analogue of the model's
     synchronous round.
+
+    **Crash recovery.**  With a ``recovery`` config attached, every
+    ``checkpoint_interval``-th successful barrier is followed by a
+    ``("checkpoint", None)`` broadcast whose per-shard state blobs the
+    parent retains (pipe pickling makes them deep copies for free); the
+    barrier tasks in between are recorded for replay.  A
+    :class:`WorkerCrashError` then tears down every child, respawns
+    fresh forks — valid restore bases because the parent's handler
+    objects stay at pre-run state throughout a parallel run — replays
+    ``("restore", blob)`` plus the recorded barriers (local computation
+    is deterministic, so the replay reproduces the pre-crash state
+    exactly) and retries the interrupted barrier.  Workers re-execute at
+    most ``checkpoint_interval`` barriers of local computation, and
+    since every metered shuffle happens parent-side *between* barriers,
+    no shuffle is ever replayed: the ledger of a recovered run is
+    byte-identical to a fault-free one.  After ``max_recoveries``
+    crashes the pool restores checkpoint-plus-replay onto the
+    parent-side handlers and degrades to in-process serial execution,
+    surfacing a :class:`~repro.faults.recovery.DegradedExecutionWarning`.
+
+    **Fault injection.**  An ``injector``
+    (:class:`~repro.faults.inject.FaultInjector`) gets a
+    ``before_step(pool, step_index)`` callback at the top of every
+    external :meth:`step`; both hooks are absent-by-default so the
+    fault-free hot path is unchanged.
     """
 
-    def __init__(self, handlers: Sequence[Callable[[Any], Any]]) -> None:
+    def __init__(
+        self,
+        handlers: Sequence[Callable[[Any], Any]],
+        injector: Any = None,
+        recovery: Any = None,
+    ) -> None:
         if not handlers:
             raise ValueError("pool needs at least one shard handler")
         if not fork_available():  # pragma: no cover - platform-specific
@@ -210,21 +254,21 @@ class ForkShardPool:
                 "ForkShardPool requires the 'fork' start method; callers "
                 "must fall back to serial execution on this platform"
             )
-        ctx = multiprocessing.get_context("fork")
+        self._handlers = list(handlers)
+        self._injector = injector
+        self._recovery = recovery
         self._conns: list[Any] = []
         self._procs: list[Any] = []
+        self._checkpoints: list[Any] | None = None
+        #: Barrier tasks since the last checkpoint (replayed on crash).
+        self._history: list[list[Any]] = []
+        self._steps_since_checkpoint = 0
+        self._step_index = 0
+        self._recoveries = 0
+        self._degraded = False
+        self._broken = False
         try:
-            for handler in handlers:
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_shard_main,
-                    args=(child_conn, handler),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._conns.append(parent_conn)
-                self._procs.append(proc)
+            self._spawn()
         except BaseException:
             self.close()
             raise
@@ -236,16 +280,74 @@ class ForkShardPool:
         self.close()
 
     def __len__(self) -> int:
-        return len(self._conns)
+        return len(self._procs)
 
-    def step(self, tasks: Sequence[Any]) -> list[Any]:
-        """Send one task per shard, collect one result per shard."""
-        if len(tasks) != len(self._conns):
-            raise ValueError(
-                f"expected {len(self._conns)} tasks, got {len(tasks)}"
+    @property
+    def shards(self) -> int:
+        """Shard count (stable across close/teardown, unlike ``len``)."""
+        return len(self._handlers)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the pool fell back to in-process serial execution."""
+        return self._degraded
+
+    @property
+    def recoveries(self) -> int:
+        """Crash recoveries performed so far (including the degrading one)."""
+        return self._recoveries
+
+    def _spawn(self) -> None:
+        ctx = multiprocessing.get_context("fork")
+        for handler in self._handlers:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_main,
+                args=(child_conn, handler),
+                daemon=True,
             )
-        for conn, task in zip(self._conns, tasks):
-            conn.send(task)
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    def _teardown_procs(self) -> None:
+        """Terminate and join every child, close every pipe; no zombies."""
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._conns = []
+        self._procs = []
+
+    def kill_worker(self, index: int) -> bool:
+        """SIGKILL one live shard worker (fault injection entry point)."""
+        if self._degraded or not (0 <= index < len(self._procs)):
+            return False
+        proc = self._procs[index]
+        if proc.pid is None or not proc.is_alive():
+            return False
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.join(timeout=5)
+        return True
+
+    def _barrier(self, tasks: Sequence[Any]) -> list[Any]:
+        """Raw barrier: send one task per shard, collect one result each."""
+        for index, (conn, task) in enumerate(zip(self._conns, tasks)):
+            try:
+                conn.send(task)
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerCrashError(
+                    f"MPC shard worker {index} died before the barrier"
+                ) from exc
         results: list[Any] = []
         failure: tuple[str, str, str] | None = None
         for index, conn in enumerate(self._conns):
@@ -266,18 +368,127 @@ class ForkShardPool:
             raise rebuild_exception(*failure)
         return results
 
+    def _checkpoint(self) -> None:
+        blobs = self._barrier([("checkpoint", None)] * len(self._conns))
+        self._checkpoints = blobs
+        self._history = []
+        self._steps_since_checkpoint = 0
+
+    def _after_barrier(self, tasks: Sequence[Any]) -> None:
+        """Checkpoint every ``checkpoint_interval`` barriers, else record.
+
+        Between checkpoints the barrier tasks are retained: local
+        computation is deterministic, so replaying them against the last
+        checkpoint reproduces the exact pre-crash state without paying a
+        pipe round-trip on every step.
+        """
+        self._steps_since_checkpoint += 1
+        if (
+            self._steps_since_checkpoint
+            >= self._recovery.checkpoint_interval
+        ):
+            self._checkpoint()
+        else:
+            self._history.append(list(tasks))
+
+    def _respawn(self) -> None:
+        """Fresh forks replayed to the last completed barrier's state.
+
+        Parent-side handler objects are never mutated during a parallel
+        run (workers advance copy-on-write copies; the parent mirrors
+        state back only at finalize), so a fresh fork *is* the pre-run
+        state — ``restore`` with the last checkpoint blob brings it to
+        the last checkpointed barrier (with no checkpoint yet the fresh
+        fork is already that base), and replaying the retained barrier
+        tasks since then (results discarded — the parent already
+        consumed them) reproduces the pre-crash state exactly.
+        """
+        self._spawn()
+        if self._checkpoints is not None:
+            self._barrier(
+                [("restore", blob) for blob in self._checkpoints]
+            )
+        for tasks in self._history:
+            self._barrier(tasks)
+
+    def _degrade(self) -> None:
+        """Fall back to in-process serial execution of the handlers."""
+        self._degraded = True
+        if self._checkpoints is not None:
+            for handler, blob in zip(self._handlers, self._checkpoints):
+                handler(("restore", blob))
+        for tasks in self._history:
+            for handler, task in zip(self._handlers, tasks):
+                handler(task)
+        self._history = []
+        if self._injector is not None:
+            self._injector.note_degraded()
+        warnings.warn(
+            f"MPC shard pool exceeded its recovery budget "
+            f"({self._recoveries - 1} recoveries); degrading to in-process "
+            f"serial execution (results and ledger are unaffected)",
+            _degraded_warning_class(),
+            stacklevel=4,
+        )
+
+    def step(self, tasks: Sequence[Any]) -> list[Any]:
+        """Send one task per shard, collect one result per shard.
+
+        With recovery enabled this is the crash-safe barrier: worker
+        crashes trigger respawn-and-replay from the last checkpoint (or
+        in-process degradation once the budget is spent); without it a
+        :class:`WorkerCrashError` tears down every child before
+        propagating, so no zombie workers outlive the failure.
+        """
+        if len(tasks) != len(self._handlers):
+            raise ValueError(
+                f"expected {len(self._handlers)} tasks, got {len(tasks)}"
+            )
+        if self._injector is not None and not self._degraded:
+            self._injector.before_step(self, self._step_index)
+        self._step_index += 1
+        while True:
+            if self._degraded:
+                return [
+                    handler(task)
+                    for handler, task in zip(self._handlers, tasks)
+                ]
+            try:
+                if not self._procs:
+                    self._respawn()
+                results = self._barrier(tasks)
+                # Finalize is the last barrier of a run — nothing left
+                # to recover to, so skip the checkpoint bookkeeping.
+                if self._recovery is not None and not _is_finalize(tasks):
+                    self._after_barrier(tasks)
+                return results
+            except WorkerCrashError:
+                self._teardown_procs()
+                if self._recovery is None:
+                    self._broken = True
+                    self.close()
+                    raise
+                self._recoveries += 1
+                if self._injector is not None:
+                    self._injector.note_recovery()
+                if self._recoveries > self._recovery.max_recoveries:
+                    self._degrade()
+
     def step_all(self, task: Any) -> list[Any]:
         """Broadcast one task to every shard (e.g. ``("start", None)``)."""
-        return self.step([task] * len(self._conns))
+        return self.step([task] * len(self._handlers))
 
     def close(self) -> None:
         """Shut every worker down; idempotent."""
-        for conn in self._conns:
-            try:
-                conn.send(_STOP)
-            except (BrokenPipeError, OSError):
-                pass
+        if not self._broken:
+            for conn in self._conns:
+                try:
+                    conn.send(_STOP)
+                except (BrokenPipeError, OSError):
+                    pass
         for proc in self._procs:
+            if self._broken and proc.is_alive():
+                proc.terminate()
             proc.join(timeout=5)
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
@@ -289,6 +500,19 @@ class ForkShardPool:
                 pass
         self._conns = []
         self._procs = []
+
+
+def _is_finalize(tasks: Sequence[Any]) -> bool:
+    first = tasks[0] if tasks else None
+    return isinstance(first, tuple) and bool(first) and first[0] == "finalize"
+
+
+def _degraded_warning_class() -> type:
+    # Imported lazily: repro.faults depends on repro.mpc.machine, and the
+    # fault-free path should not pay the import at module load.
+    from repro.faults.recovery import DegradedExecutionWarning
+
+    return DegradedExecutionWarning
 
 
 class ProgramShard:
@@ -303,6 +527,13 @@ class ProgramShard:
     back so the parent can mirror their post-run state (a serial run
     mutates the caller's objects in place; the parallel path must look
     the same to callers that read program attributes afterwards).
+
+    ``("checkpoint", None)`` snapshots the shard's mutable state — per
+    program only ``machine.stored_words`` plus the program ``__dict__``
+    (the frozen ``MachineSpec`` never crosses) — and ``("restore",
+    blob)`` applies such a snapshot in place, keeping the existing
+    ``machine``/spec objects.  Pipe pickling turns the snapshot into a
+    deep copy on the parent side for free.
     """
 
     def __init__(
@@ -310,8 +541,36 @@ class ProgramShard:
     ) -> None:
         self._programs = [(mid, programs[mid]) for mid in sorted(machine_ids)]
 
+    def _checkpoint(self) -> list[tuple[int, int, dict[str, Any]]]:
+        return [
+            (
+                mid,
+                prog.machine.snapshot(),
+                {k: v for k, v in prog.__dict__.items() if k != "machine"},
+            )
+            for mid, prog in self._programs
+        ]
+
+    def _restore(self, blob: Sequence[tuple[int, int, dict[str, Any]]]) -> None:
+        for (mid, stored_words, state), (own_mid, prog) in zip(
+            blob, self._programs
+        ):
+            if mid != own_mid:  # pragma: no cover - plumbing bug guard
+                raise RuntimeError(
+                    f"checkpoint blob for machine {mid} applied to {own_mid}"
+                )
+            prog.machine.restore(stored_words)
+            for key in [k for k in prog.__dict__ if k != "machine"]:
+                del prog.__dict__[key]
+            prog.__dict__.update(state)
+
     def __call__(self, task: Any) -> dict[str, Any]:
         kind, inboxes = task
+        if kind == "checkpoint":
+            return self._checkpoint()
+        if kind == "restore":
+            self._restore(inboxes)
+            return {"restored": len(self._programs), "error": None}
         if kind == "finalize":
             return {"programs": list(self._programs), "error": None}
         sent: list[tuple[int, list[Any]]] = []

@@ -166,6 +166,15 @@ class MPCRuntime:
         #: ``congest_rounds``), so consumers wanting final values should
         #: hold the reference and read at aggregation time.
         self.on_shuffle = on_shuffle
+        #: Optional :class:`~repro.faults.inject.FaultInjector` whose
+        #: ``before_shuffle`` hook fires at the top of :meth:`shuffle`
+        #: and whose ``before_step`` hook the shard pool calls; ``None``
+        #: (the default) keeps the fault-free hot path untouched.
+        self.fault_injector = None
+        #: Optional :class:`~repro.faults.recovery.RecoveryConfig` that
+        #: the parallel path forwards to its :class:`ForkShardPool`,
+        #: enabling checkpointed crash recovery.
+        self.recovery = None
 
     @property
     def num_machines(self) -> int:
@@ -195,6 +204,8 @@ class MPCRuntime:
         """
         if congest_rounds < 1:
             raise ValueError("congest_rounds must be positive")
+        if self.fault_injector is not None:
+            self.fault_injector.before_shuffle(self)
         m = self.num_machines
         if len(outboxes) != m:
             raise ValueError(
@@ -378,7 +389,9 @@ class MPCRuntime:
                 for mid, _output in frag["finished"]:
                     done.add(mid)
 
-        with _parallel.ForkShardPool(handlers) as pool:
+        with _parallel.ForkShardPool(
+            handlers, injector=self.fault_injector, recovery=self.recovery
+        ) as pool:
             absorb(pool.step_all(("start", None)))
             while len(done) < m:
                 if self.stats.rounds - rounds_before >= max_rounds:

@@ -91,6 +91,12 @@ class CellResult:
     #: budget was enforced).  Platform-dependent like ``seconds``, so it is
     #: excluded from :meth:`SweepResult.deterministic_json`.
     warning: str | None = None
+    #: How many evaluations this result took (1 = no retry).  Retries only
+    #: happen for transient failures (worker crash, timeout, broken pool)
+    #: and re-run the same deterministic cell, so the *payload* is
+    #: retry-invariant; the count itself is scheduling luck and therefore
+    #: timing-scoped, like ``seconds``.
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -103,17 +109,26 @@ class CellResult:
         return None
 
     def to_json(self, include_timing: bool = True) -> dict[str, Any]:
+        payload = self.payload
+        if not include_timing and payload is not None and "faults" in payload:
+            # The fault/recovery report is execution detail, not
+            # computation: the same crash event *fires* under shard
+            # workers but stays *pending* on a serial run, so keeping it
+            # in deterministic_json would break the worker-count
+            # invariance of the digest.  Scope it with the timings.
+            payload = {k: v for k, v in payload.items() if k != "faults"}
         data: dict[str, Any] = {
             "cell": self.cell.to_json(),
             "key": self.cell.key,
             "status": self.status,
-            "payload": self.payload,
+            "payload": payload,
             "error": self.error,
         }
         if include_timing:
             data["seconds"] = self.seconds
             data["max_rss_kb"] = self.max_rss_kb
             data["warning"] = self.warning
+            data["attempts"] = self.attempts
         return data
 
 
@@ -397,12 +412,67 @@ def evaluate_cell(
         )
 
 
+#: Default base of the deterministic exponential retry backoff, seconds.
+DEFAULT_RETRY_BACKOFF = 0.05
+
+#: Error-text markers of transient failures worth retrying: a lost MPC
+#: shard worker (typed transport) or a lost pool worker.  Deliberately
+#: narrow — deterministic model errors (budget violations, protocol
+#: errors) would fail identically on every attempt.
+_TRANSIENT_MARKERS = ("WorkerCrashError", "worker failed:")
+
+
+def _is_transient(result: CellResult) -> bool:
+    """Whether a failed cell is worth retrying (crash/timeout, not logic)."""
+    if result.status == STATUS_TIMEOUT:
+        return True
+    if result.status == STATUS_ERROR and result.error:
+        return any(marker in result.error for marker in _TRANSIENT_MARKERS)
+    return False
+
+
+def _backoff_sleep(attempt: int, backoff: float) -> None:
+    """Deterministic exponential backoff before retry ``attempt`` (1-based)."""
+    if backoff > 0:
+        time.sleep(backoff * (2 ** (attempt - 1)))
+
+
+def evaluate_cell_with_retry(
+    cell: Cell,
+    timeout: float | None = None,
+    repeats: int = 1,
+    retries: int = 0,
+    backoff: float = DEFAULT_RETRY_BACKOFF,
+) -> CellResult:
+    """:func:`evaluate_cell` plus bounded retry of transient failures.
+
+    Up to ``retries`` re-evaluations with deterministic exponential
+    backoff (``backoff * 2**(attempt-1)`` seconds).  Only transient
+    failures are retried (see :func:`_is_transient`); tasks are
+    deterministic, so a successful retry's payload is byte-identical to
+    what a fault-free first attempt would have produced — the attempt
+    count lands in the timing-scoped ``CellResult.attempts``, never in
+    the deterministic digest.
+    """
+    result = evaluate_cell(cell, timeout=timeout, repeats=repeats)
+    attempts = 1
+    while attempts <= retries and _is_transient(result):
+        _backoff_sleep(attempts, backoff)
+        result = evaluate_cell(cell, timeout=timeout, repeats=repeats)
+        attempts += 1
+    result.attempts = attempts
+    return result
+
+
 def _evaluate_remote(
-    packed: tuple[Cell, float | None, int]
+    packed: tuple[Cell, float | None, int, int, float]
 ) -> CellResult:
     """Pool entry point (top-level, so it pickles under any start method)."""
-    cell, timeout, repeats = packed
-    return evaluate_cell(cell, timeout=timeout, repeats=repeats)
+    cell, timeout, repeats, retries, backoff = packed
+    return evaluate_cell_with_retry(
+        cell, timeout=timeout, repeats=repeats, retries=retries,
+        backoff=backoff,
+    )
 
 
 def _install_cache_in_worker(graphs) -> None:
@@ -447,12 +517,38 @@ def _prewarm_with_budget(cells, timeout: float | None) -> None:
         signal.signal(signal.SIGALRM, old_handler)
 
 
+def _retry_in_fresh_worker(
+    cell: Cell, timeout: float | None, repeats: int
+) -> CellResult:
+    """One retry of a cell whose pool worker died, in a fresh subprocess.
+
+    A cell that took its worker down (OOM-kill, segfault, an injected
+    crash that outran recovery) must not be retried in the parent — if it
+    kills again it would take the whole sweep with it.  A dedicated
+    single-worker pool isolates the blast radius per attempt.
+    """
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        future = pool.submit(
+            _evaluate_remote, (cell, timeout, repeats, 0, 0.0)
+        )
+        try:
+            return future.result()
+        except Exception as exc:
+            return CellResult(
+                cell=cell,
+                status=STATUS_ERROR,
+                error=f"worker failed: {exc!r}",
+            )
+
+
 def run_sweep(
     grid: GridSpec,
     jobs: int = 1,
     timeout: float | None = None,
     repeats: int = 1,
     graph_cache: bool = True,
+    retries: int = 0,
+    retry_backoff: float = DEFAULT_RETRY_BACKOFF,
 ) -> SweepResult:
     """Evaluate every cell of ``grid`` and merge the outcomes.
 
@@ -473,15 +569,29 @@ def run_sweep(
     graph-generation cost.  Graph construction is deterministic, so cached
     and freshly built graphs are identical and the merged results are
     unaffected.
+
+    ``retries`` bounds per-cell re-evaluation of *transient* failures —
+    worker crashes, timeouts, broken pool workers — with deterministic
+    exponential backoff (``retry_backoff`` base seconds).  Cells whose
+    pool worker died are retried in a fresh single-worker pool, never in
+    the parent.  Retried payloads are byte-identical to first-attempt
+    payloads (deterministic tasks), so the merged deterministic digest is
+    retry-invariant; only the timing-scoped ``attempts`` field records
+    the extra work.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
     start = time.perf_counter()
     if graph_cache:
         _prewarm_with_budget(grid.cells, timeout)
     if jobs == 1 or len(grid.cells) <= 1:
         results = [
-            evaluate_cell(cell, timeout=timeout, repeats=repeats)
+            evaluate_cell_with_retry(
+                cell, timeout=timeout, repeats=repeats, retries=retries,
+                backoff=retry_backoff,
+            )
             for cell in grid.cells
         ]
     else:
@@ -495,7 +605,13 @@ def run_sweep(
             initargs=initargs or (),
         ) as pool:
             futures = [
-                (cell, pool.submit(_evaluate_remote, (cell, timeout, repeats)))
+                (
+                    cell,
+                    pool.submit(
+                        _evaluate_remote,
+                        (cell, timeout, repeats, retries, retry_backoff),
+                    ),
+                )
                 for cell in grid.cells
             ]
             results = []
@@ -512,6 +628,24 @@ def run_sweep(
                             error=f"worker failed: {exc!r}",
                         )
                     )
+        # Pool-level failures never reached the in-worker retry loop;
+        # give them their own bounded retries, each in a fresh worker.
+        if retries > 0:
+            for index, result in enumerate(results):
+                attempts = result.attempts
+                while (
+                    attempts <= retries
+                    and result.status == STATUS_ERROR
+                    and result.error is not None
+                    and result.error.startswith("worker failed:")
+                ):
+                    _backoff_sleep(attempts, retry_backoff)
+                    result = _retry_in_fresh_worker(
+                        result.cell, timeout, repeats
+                    )
+                    attempts += 1
+                    result.attempts = attempts
+                    results[index] = result
     return SweepResult(
         grid=grid,
         results=results,

@@ -141,11 +141,28 @@ def _workers_of(cell: Cell) -> int | None:
     return None if workers is None else int(workers)
 
 
+def _faults_of(cell: Cell) -> str | None:
+    """A cell's fault-injection spec string, or ``None`` for fault-free.
+
+    Like worker count, faults are an execution-environment detail: the
+    recovery contract pins the ledger byte-identical with and without
+    them, so the spec never enters the metrics label.  The fault/recovery
+    *report* rides in the payload but records execution (whether an event
+    fired depends on the worker count), so ``CellResult.to_json`` scopes
+    it out of the deterministic digest along with the timings.
+    """
+    faults = cell.param("faults")
+    return None if faults is None else str(faults)
+
+
 #: Cell coordinates that select a backend variant rather than a workload;
 #: they must stay out of the metrics label, which sits inside the
 #: deterministic section and therefore must be byte-identical across
-#: engines, compression windows and worker counts on the same workload.
-_VARIANT_PARAMS = frozenset({"compress", "parity", "metrics", "mpc_workers"})
+#: engines, compression windows, worker counts and fault plans on the
+#: same workload.
+_VARIANT_PARAMS = frozenset(
+    {"compress", "parity", "metrics", "mpc_workers", "faults"}
+)
 
 
 def _metrics_label(cell: Cell) -> str:
@@ -398,6 +415,7 @@ def _mpc_mvc(cell: Cell) -> dict[str, Any]:
         compress=_compress_of(cell),
         collector=collector,
         workers=_workers_of(cell),
+        faults=_faults_of(cell),
     )
     assert_vertex_cover(square(graph), result.cover)
     payload: dict[str, Any] = {
@@ -406,6 +424,10 @@ def _mpc_mvc(cell: Cell) -> dict[str, Any]:
         "signature": signature_of(result.cover),
         "mpc": mpc,
     }
+    # The fault/recovery report rides top-level (matching mpc-matching),
+    # keeping "mpc" the parity-compared ledger.
+    if "faults" in mpc:
+        payload["faults"] = mpc.pop("faults")
     if collector is not None:
         payload["metrics"] = collector.to_json()
     return payload
@@ -429,6 +451,7 @@ def _mpc_mds(cell: Cell) -> dict[str, Any]:
         compress=_compress_of(cell),
         collector=collector,
         workers=_workers_of(cell),
+        faults=_faults_of(cell),
     )
     assert_dominating_set(square(graph), result.cover)
     payload: dict[str, Any] = {
@@ -438,6 +461,8 @@ def _mpc_mds(cell: Cell) -> dict[str, Any]:
         "signature": signature_of(result.cover),
         "mpc": mpc,
     }
+    if "faults" in mpc:
+        payload["faults"] = mpc.pop("faults")
     if collector is not None:
         payload["metrics"] = collector.to_json()
     return payload
@@ -460,7 +485,8 @@ def _mpc_matching(cell: Cell) -> dict[str, Any]:
     alpha = float(cell.param("alpha", 0.8))
     graph = _cell_graph(cell)
     result = mpc_maximal_matching(
-        graph, alpha=alpha, seed=cell.seed, workers=_workers_of(cell)
+        graph, alpha=alpha, seed=cell.seed, workers=_workers_of(cell),
+        faults=_faults_of(cell),
     )
     assert_maximal_matching(graph, result.matching)
     oracle = deterministic_maximal_matching(graph)
@@ -471,7 +497,7 @@ def _mpc_matching(cell: Cell) -> dict[str, Any]:
             f"matching size {len(result.matching)} outside the maximal band "
             f"[{len(oracle) / 2:g}, {2 * len(oracle)}] of the oracle"
         )
-    return {
+    payload: dict[str, Any] = {
         "matching_size": len(result.matching),
         "oracle_size": len(oracle),
         "phases": result.phases,
@@ -480,6 +506,9 @@ def _mpc_matching(cell: Cell) -> dict[str, Any]:
         ),
         "mpc": result.summary(),
     }
+    if result.faults is not None:
+        payload["faults"] = result.faults
+    return payload
 
 
 @register_task("mpc-parity", graph_cache=True)
@@ -519,9 +548,11 @@ def _mpc_parity(cell: Cell) -> dict[str, Any]:
         prepare=prepare,
         compress=_compress_of(cell),
         workers=_workers_of(cell),
+        faults=_faults_of(cell),
     )
     matching = mpc_maximal_matching(
-        graph, alpha=alpha, seed=cell.seed, workers=_workers_of(cell)
+        graph, alpha=alpha, seed=cell.seed, workers=_workers_of(cell),
+        faults=_faults_of(cell),
     )
     assert_maximal_matching(graph, matching.matching)
     oracle = deterministic_maximal_matching(graph)
@@ -674,6 +705,44 @@ def _selftest_kill(cell: Cell) -> dict[str, Any]:
     than hang waiting for a result that will never arrive.  Never run this
     serially: in-process it kills the caller, which is the simulated
     disaster, not a test harness.
+
+    With a ``marker`` param (a file path), the kill happens only while
+    the marker does not exist — the first attempt creates it and dies,
+    any retry succeeds.  That is the pool-level transient the runner's
+    fresh-worker retry path exists for.
     """
+    marker = cell.param("marker")
+    if marker is not None:
+        from pathlib import Path
+
+        path = Path(str(marker))
+        if path.exists():
+            return {"n": cell.n, "signature": f"kill-recovered-{cell.n}"}
+        path.write_text("killed once\n")
     os.kill(os.getpid(), signal.SIGKILL)
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+@register_task("selftest-flaky")
+def _selftest_flaky(cell: Cell) -> dict[str, Any]:
+    """Fails transiently on the first attempt, succeeds afterwards.
+
+    Uses a ``marker`` param (a file path) as cross-attempt state: while
+    the marker does not exist the task creates it and raises
+    :class:`~repro.mpc.parallel.WorkerCrashError` — the canonical
+    transient the retry loop is allowed to retry.  Without a marker the
+    task always succeeds.
+    """
+    marker = cell.param("marker")
+    if marker is not None:
+        from pathlib import Path
+
+        from repro.mpc.parallel import WorkerCrashError
+
+        path = Path(str(marker))
+        if not path.exists():
+            path.write_text("failed once\n")
+            raise WorkerCrashError(
+                f"selftest-flaky first attempt n={cell.n} seed={cell.seed}"
+            )
+    return {"n": cell.n, "seed": cell.seed, "signature": f"flaky-{cell.n}"}

@@ -336,3 +336,91 @@ class TestSweepWarningSummary:
         code = main(["sweep", "--task", "selftest-ok", "--ns", "8"])
         assert code == 0
         assert "warnings:" not in capsys.readouterr().out
+
+
+class TestFaultsFlag:
+    def test_mvc_faults_require_mpc_model(self, capsys):
+        code = main(["mvc", "--n", "12", "--faults", "crash@1"])
+        assert code == 2
+        assert "--model mpc" in capsys.readouterr().err
+
+    def test_mds_faults_require_mpc_model(self, capsys):
+        code = main(["mds", "--n", "12", "--faults", "crash@1"])
+        assert code == 2
+        assert "--model mpc" in capsys.readouterr().err
+
+    def test_bad_spec_rejected(self, capsys):
+        code = main(
+            ["mvc", "--n", "12", "--model", "mpc", "--faults", "bogus@1"]
+        )
+        assert code == 2
+        assert "bad fault token" in capsys.readouterr().err
+
+    def test_mvc_run_prints_fault_report(self, capsys):
+        from repro.mpc.parallel import fork_available
+
+        if not fork_available():
+            pytest.skip("crash recovery requires fork")
+        code = main([
+            "mvc", "--n", "14", "--model", "mpc", "--alpha", "0.9",
+            "--mpc-workers", "2", "--faults", "crash@1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults: crash=1" in out
+        assert "recoveries=1" in out
+
+    def test_sweep_faults_require_mpc_model(self):
+        with pytest.raises(SystemExit, match="--model mpc"):
+            main(["sweep", "--task", "mvc-congest", "--ns", "10",
+                  "--faults", "crash@1", "--quiet"])
+
+    def test_sweep_faults_rejected_for_named_grids(self):
+        with pytest.raises(SystemExit, match="ad-hoc"):
+            main(["sweep", "--grid", "smoke", "--faults", "crash@1"])
+
+    def test_sweep_bad_spec_rejected(self):
+        with pytest.raises(SystemExit, match="bad fault token"):
+            main(["sweep", "--task", "mpc-mvc", "--model", "mpc",
+                  "--ns", "10", "--faults", "nope@2", "--quiet"])
+
+    def test_sweep_faults_param_attached_to_every_cell(self):
+        from repro.cli import _sweep_grid_from_args, build_parser
+
+        args = build_parser().parse_args(
+            ["sweep", "--task", "mpc-mvc", "--model", "mpc",
+             "--ns", "10,12", "--faults", "crash@1"]
+        )
+        grid = _sweep_grid_from_args(args)
+        assert len(grid.cells) == 2
+        assert all(
+            cell.param("faults") == "crash@1" for cell in grid.cells
+        )
+
+
+class TestRetriesFlag:
+    def test_default_is_zero(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["sweep", "--grid", "smoke"])
+        assert args.retries == 0
+
+    def test_persistent_failure_still_exits_nonzero(self, capsys):
+        code = main(
+            ["sweep", "--task", "selftest-fail", "--ns", "8",
+             "--retries", "2", "--quiet"]
+        )
+        assert code == 1
+        assert "1 error" in capsys.readouterr().out
+
+    def test_chaos_grid_runs_clean(self, capsys):
+        from repro.mpc.parallel import fork_available
+
+        if not fork_available():
+            pytest.skip("crash recovery requires fork")
+        code = main(
+            ["sweep", "--grid", "mpc-chaos", "--jobs", "1",
+             "--retries", "1", "--quiet"]
+        )
+        assert code == 0
+        assert "4 ok, 0 error" in capsys.readouterr().out

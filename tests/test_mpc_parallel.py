@@ -130,7 +130,47 @@ class TestMachineSpec:
 # -- typed error transport -------------------------------------------------
 
 
+class _TwoArgError(Exception):
+    """An exception whose constructor does not take a single message."""
+
+    def __init__(self, code: int, detail: str) -> None:
+        super().__init__(code, detail)
+        self.code = code
+        self.detail = detail
+
+
+class _UnprintableError(Exception):
+    """An exception whose ``__str__`` itself raises."""
+
+    def __str__(self) -> str:
+        raise RuntimeError("no string form")
+
+
 class TestErrorTransport:
+    def test_multi_arg_ctor_degrades_to_runtime_error(self):
+        # Satellite: a worker-side exception type that cannot be rebuilt
+        # with a single message must fall back to RuntimeError carrying
+        # the type name and message — never a TypeError from the ctor.
+        original = _TwoArgError(42, "shard exploded")
+        _unit, module, qualname, message = describe_error(0, original)
+        rebuilt = rebuild_exception(module, qualname, message)
+        assert type(rebuilt) is RuntimeError
+        assert "_TwoArgError" in str(rebuilt)
+        assert "shard exploded" in str(rebuilt)
+
+    def test_unprintable_exception_still_describable(self):
+        unit, _module, qualname, message = describe_error(
+            3, _UnprintableError()
+        )
+        assert unit == 3
+        assert qualname.endswith("_UnprintableError")
+        assert "unprintable" in message
+
+    def test_safe_message_never_raises(self):
+        from repro.mpc.parallel import safe_message
+
+        assert safe_message(ValueError("plain")) == "plain"
+        assert "_UnprintableError" in safe_message(_UnprintableError())
     def test_budget_error_round_trips(self):
         original = MemoryBudgetExceeded("machine 2 needs 9 words")
         unit, module, qualname, message = describe_error(2, original)

@@ -399,3 +399,152 @@ class TestMemoryMetering:
     @staticmethod
     def _ok_cell():
         return Cell(task="selftest-ok", n=3, seed=0)
+
+
+class TestRetry:
+    """Bounded per-cell retry with deterministic backoff (transients only)."""
+
+    @staticmethod
+    def _flaky_cell(tmp_path, n=5):
+        return Cell(
+            task="selftest-flaky", n=n, seed=1,
+            params=(("marker", str(tmp_path / f"flaky-{n}.marker")),),
+        )
+
+    def test_transient_failure_retried_to_ok(self, tmp_path):
+        from repro.sweep.runner import evaluate_cell_with_retry
+
+        result = evaluate_cell_with_retry(self._flaky_cell(tmp_path), retries=1)
+        assert result.ok
+        assert result.attempts == 2
+        assert result.payload["signature"] == "flaky-5"
+
+    def test_without_retries_the_transient_is_an_error(self, tmp_path):
+        from repro.sweep.runner import evaluate_cell_with_retry
+
+        result = evaluate_cell_with_retry(self._flaky_cell(tmp_path), retries=0)
+        assert result.status == "error"
+        assert "WorkerCrashError" in result.error
+        assert result.attempts == 1
+
+    def test_persistent_failure_exhausts_the_budget(self):
+        from repro.sweep.runner import evaluate_cell_with_retry
+
+        result = evaluate_cell_with_retry(
+            Cell(task="selftest-fail", n=3), retries=3, backoff=0.0
+        )
+        # Non-transient failures (a typed model error) never retry.
+        assert result.status == "error"
+        assert result.attempts == 1
+
+    def test_timeout_is_transient(self):
+        from repro.sweep.runner import evaluate_cell_with_retry
+
+        result = evaluate_cell_with_retry(
+            Cell(task="selftest-sleep", params=(("sleep", 5.0),)),
+            timeout=0.2, retries=1, backoff=0.0,
+        )
+        assert result.status == "timeout"
+        assert result.attempts == 2
+
+    def test_attempts_are_timing_scoped(self, tmp_path):
+        from repro.sweep.runner import evaluate_cell_with_retry
+
+        result = evaluate_cell_with_retry(self._flaky_cell(tmp_path), retries=1)
+        assert result.to_json(include_timing=True)["attempts"] == 2
+        assert "attempts" not in result.to_json(include_timing=False)
+
+    def test_serial_sweep_retries_flaky_cells(self, tmp_path):
+        grid = GridSpec("flaky", (self._flaky_cell(tmp_path),))
+        sweep = run_sweep(grid, jobs=1, retries=1)
+        assert not sweep.failures
+        (result,) = list(sweep)
+        assert result.attempts == 2
+
+    def test_retry_does_not_change_the_deterministic_digest(self, tmp_path):
+        cell = Cell(task="selftest-ok", n=5, seed=7)
+        clean = run_sweep(GridSpec("g", (cell,)), jobs=1)
+        flaky = run_sweep(
+            GridSpec("g", (self._flaky_cell(tmp_path, n=5),)), jobs=1,
+            retries=1,
+        )
+        # Different tasks, so compare the shape of the contract instead:
+        # attempts live only under timing in both documents.
+        for sweep in (clean, flaky):
+            deterministic = json.loads(sweep.deterministic_json())
+            assert "attempts" not in deterministic["results"][0]
+
+    def test_fault_report_is_timing_scoped(self):
+        # Whether a fault event fires depends on the worker count (a
+        # crash stays pending on a serial run), so the report must stay
+        # out of the deterministic digest like attempts and warnings.
+        from repro.sweep.runner import CellResult
+
+        result = CellResult(
+            cell=Cell(task="selftest-ok", n=5),
+            status="ok",
+            payload={"answer": 42, "faults": {"recoveries": 1}},
+        )
+        timed = result.to_json(include_timing=True)
+        assert timed["payload"]["faults"] == {"recoveries": 1}
+        deterministic = result.to_json(include_timing=False)
+        assert "faults" not in deterministic["payload"]
+        assert deterministic["payload"]["answer"] == 42
+
+    def test_pool_killed_worker_retried_in_fresh_worker(self, tmp_path):
+        marker = tmp_path / "kill.marker"
+        grid = GridSpec(
+            "kill",
+            (
+                Cell(task="selftest-ok", n=1),
+                Cell(
+                    task="selftest-kill", n=2,
+                    params=(("marker", str(marker)),),
+                ),
+            ),
+        )
+        sweep = run_sweep(grid, jobs=2, retries=1, retry_backoff=0.0)
+        statuses = {r.cell.task: r.status for r in sweep}
+        assert statuses["selftest-kill"] == "ok"
+        kill_result = next(
+            r for r in sweep if r.cell.task == "selftest-kill"
+        )
+        assert kill_result.attempts == 2
+        assert kill_result.payload["signature"] == "kill-recovered-2"
+
+    def test_pool_killed_worker_without_retries_stays_error(self):
+        # Two cells so the pool path runs (single-cell grids evaluate
+        # serially, where selftest-kill would take down the caller).
+        grid = GridSpec(
+            "kill",
+            (Cell(task="selftest-ok", n=1), Cell(task="selftest-kill", n=2)),
+        )
+        sweep = run_sweep(grid, jobs=2, retries=0)
+        result = next(r for r in sweep if r.cell.task == "selftest-kill")
+        assert result.status == "error"
+        assert "worker failed:" in result.error
+        assert result.attempts == 1
+
+
+class TestTimeoutDegradationDirect:
+    """Satellite: `_can_arm_alarm() is False` must degrade, not crash."""
+
+    def test_unarmable_alarm_surfaces_warning_and_runs(self, monkeypatch):
+        from repro.sweep import runner as runner_module
+
+        monkeypatch.setattr(runner_module, "_can_arm_alarm", lambda: False)
+        result = evaluate_cell(
+            Cell(task="selftest-ok", n=5, seed=7), timeout=30.0
+        )
+        assert result.ok
+        assert result.payload == {"n": 5, "seed": 7, "signature": "ok-5"}
+        assert result.warning is not None
+        assert "un-budgeted" in result.warning
+
+    def test_no_timeout_no_warning(self, monkeypatch):
+        from repro.sweep import runner as runner_module
+
+        monkeypatch.setattr(runner_module, "_can_arm_alarm", lambda: False)
+        result = evaluate_cell(Cell(task="selftest-ok", n=5, seed=7))
+        assert result.ok
+        assert result.warning is None
