@@ -38,6 +38,11 @@ window — in this run and against the committed ``BENCH_mpc.json``
 curves.  Metrics documents embedded by the compression cells are
 schema-validated and written to ``METRICS_mpc.json``; their
 deterministic sections must be byte-identical across the ``k`` axis.
+``--check`` also guards against stale committed artifacts: the
+``METRICS_mpc.json`` on disk before this run must carry the current
+metrics schema version and per-cell deterministic sha256 values matching
+the fresh run — the two files are regenerated together, so a drifted
+one means somebody committed one without the other.
 """
 
 from __future__ import annotations
@@ -359,6 +364,13 @@ def main(argv=None) -> int:
         comp_rows,
     )
     metrics_path = Path(args.json).parent / "METRICS_mpc.json"
+    # Committed metrics baseline, read before this run overwrites the
+    # file (the staleness check under --check compares against it).
+    committed_metrics = None
+    try:
+        committed_metrics = json.loads(metrics_path.read_text())
+    except (OSError, ValueError):
+        pass
     metrics_path.write_text(
         json.dumps(
             {
@@ -487,13 +499,51 @@ def main(argv=None) -> int:
                     f"{auto} shuffles, worse than the committed fixed-k "
                     f"best ({min(committed)}) in {args.json}"
                 )
+        # Stale-artifact gate: the committed METRICS_mpc.json must have
+        # been regenerated together with BENCH_mpc.json — same metrics
+        # schema version, same per-cell deterministic sections as a
+        # fresh run (compared on the cells this run evaluated, so the
+        # --quick subset still checks against the full committed grid).
+        from repro.metrics import SCHEMA as METRICS_SCHEMA
+
+        if committed_metrics is None:
+            failures.append(
+                f"no committed {metrics_path.name} to check against; "
+                f"regenerate it together with {Path(args.json).name}"
+            )
+        else:
+            committed_cells = committed_metrics.get("cells", {})
+            for key, doc in sorted(metrics_docs.items()):
+                old = committed_cells.get(key)
+                if old is None:
+                    failures.append(
+                        f"{metrics_path.name} is stale: cell {key} is "
+                        f"missing from the committed document"
+                    )
+                elif old.get("schema") != METRICS_SCHEMA:
+                    failures.append(
+                        f"{metrics_path.name} is stale: cell {key} has "
+                        f"schema {old.get('schema')!r}, current is "
+                        f"{METRICS_SCHEMA!r}"
+                    )
+                elif (
+                    old.get("deterministic_sha256")
+                    != doc["deterministic_sha256"]
+                ):
+                    failures.append(
+                        f"{metrics_path.name} is stale: cell {key} "
+                        f"deterministic sha "
+                        f"{old.get('deterministic_sha256')} does not match "
+                        f"the fresh run's {doc['deterministic_sha256']}"
+                    )
     for failure in failures:
         print(f"CHECK FAILED: {failure}")
     if failures:
         return 1
     if args.check:
         print("check passed: parity, budget probe, machine scaling, shuffle "
-              "compression and the adaptive-k trend all hold")
+              "compression, the adaptive-k trend and the committed metrics "
+              "artifact all hold")
     return 0
 
 

@@ -244,6 +244,35 @@ def _write_metrics(collector, path: str) -> None:
     )
 
 
+def _make_tracer(args: argparse.Namespace):
+    """Build the --trace recorder, or an exit code on a bad combination.
+
+    Returns ``(recorder, None)`` — recorder ``None`` when --trace was not
+    requested — or ``(None, 2)`` for models without tracer hook points.
+    Only checked where a --model exists; sweep/verify always accept it.
+    """
+    if getattr(args, "trace", None) is None:
+        return None, None
+    if getattr(args, "model", None) not in (None, "congest", "mpc"):
+        print(
+            "error: --trace records the CONGEST/MPC execution timeline; "
+            "it requires --model congest or --model mpc",
+            file=sys.stderr,
+        )
+        return None, 2
+    from repro.trace import TraceRecorder
+
+    return TraceRecorder(), None
+
+
+def _write_trace(recorder, path: str) -> None:
+    out = recorder.write(path)
+    print(
+        f"trace: wrote {out} ({len(recorder)} events; open in Perfetto "
+        f"or chrome://tracing)"
+    )
+
+
 def _cmd_mvc(args: argparse.Namespace) -> int:
     code = _check_compress(args)
     if code is None:
@@ -255,14 +284,20 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
     collector, code = _make_collector(args, "mvc")
     if code is not None:
         return code
+    tracer, code = _make_tracer(args)
+    if code is not None:
+        return code
     graph = build_graph(args.graph, args.n, seed=args.seed)
     sq = square(graph)
     if args.model == "congest":
-        if collector is not None:
+        if collector is not None or tracer is not None:
             from repro.congest.network import CongestNetwork
 
             network = CongestNetwork(graph, seed=args.seed, engine=args.engine)
-            collector.attach(network)
+            if collector is not None:
+                collector.attach(network)
+            if tracer is not None:
+                network.tracer = tracer
             result = approx_mvc_square(graph, args.eps, network=network)
         else:
             result = approx_mvc_square(
@@ -277,7 +312,7 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
         result, mpc_payload = solve_mvc_mpc(
             graph, args.eps, alpha=args.alpha, seed=args.seed,
             check_parity=True, compress=args.compress, collector=collector,
-            workers=args.mpc_workers, faults=args.faults,
+            workers=args.mpc_workers, faults=args.faults, tracer=tracer,
         )
         cover, rounds = result.cover, result.stats.rounds
         _print_mpc_ledger(mpc_payload, workers=_resolved_mpc_workers(args))
@@ -311,6 +346,8 @@ def _cmd_mvc(args: argparse.Namespace) -> int:
         print(f"exact optimum: {opt}  ratio: {len(cover) / opt:.3f}")
     if collector is not None:
         _write_metrics(collector, args.metrics)
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     return 0
 
 
@@ -325,6 +362,9 @@ def _cmd_mds(args: argparse.Namespace) -> int:
     collector, code = _make_collector(args, "mds")
     if code is not None:
         return code
+    tracer, code = _make_tracer(args)
+    if code is not None:
+        return code
     graph = build_graph(args.graph, args.n, seed=args.seed)
     sq = square(graph)
     if args.model == "mpc":
@@ -335,15 +375,18 @@ def _cmd_mds(args: argparse.Namespace) -> int:
         result, mpc_payload = solve_mds_mpc(
             graph, alpha=args.alpha, seed=args.seed, check_parity=True,
             compress=args.compress, collector=collector,
-            workers=args.mpc_workers, faults=args.faults,
+            workers=args.mpc_workers, faults=args.faults, tracer=tracer,
         )
         _print_mpc_ledger(mpc_payload, workers=_resolved_mpc_workers(args))
         _print_fault_report(mpc_payload)
-    elif collector is not None:
+    elif collector is not None or tracer is not None:
         from repro.congest.network import CongestNetwork
 
         network = CongestNetwork(graph, seed=args.seed, engine=args.engine)
-        collector.attach(network)
+        if collector is not None:
+            collector.attach(network)
+        if tracer is not None:
+            network.tracer = tracer
         result = approx_mds_square(graph, network=network)
     else:
         result = approx_mds_square(graph, seed=args.seed, engine=args.engine)
@@ -357,6 +400,8 @@ def _cmd_mds(args: argparse.Namespace) -> int:
         print(f"exact optimum: {opt}  ratio: {len(result.cover) / opt:.3f}")
     if collector is not None:
         _write_metrics(collector, args.metrics)
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     return 0
 
 
@@ -415,11 +460,14 @@ def _mpc_verify_grid(
 
 
 def _cmd_verify_mpc(args: argparse.Namespace) -> int:
+    tracer, code = _make_tracer(args)
+    if code is not None:
+        return code
     grid = _mpc_verify_grid(
         args.n, args.alpha, args.samples, compress=args.compress,
         workers=args.mpc_workers,
     )
-    sweep = run_sweep(grid, jobs=args.jobs)
+    sweep = run_sweep(grid, jobs=args.jobs, trace=tracer)
     failures = 0
     for result in sweep:
         if not result.ok:
@@ -435,6 +483,8 @@ def _cmd_verify_mpc(args: argparse.Namespace) -> int:
               f"machines={payload['mpc']['machines']} -> ok")
     print(f"{args.samples - failures}/{args.samples} round-compilation "
           f"parity samples verified (alpha={args.alpha:g}, n={args.n})")
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     return 1 if failures else 0
 
 
@@ -446,8 +496,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         return code
     if args.model == "mpc":
         return _cmd_verify_mpc(args)
+    tracer, code = _make_tracer(args)
+    if code is not None:
+        return code
     grid = _verify_grid(args.family, args.k, args.samples)
-    sweep = run_sweep(grid, jobs=args.jobs)
+    sweep = run_sweep(grid, jobs=args.jobs, trace=tracer)
     failures = 0
     for result in sweep:
         if not result.ok:
@@ -464,6 +517,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
               f"intersecting={payload['intersecting']} "
               f"-> {'ok' if ok else 'FAIL'}")
     print(f"{args.samples - failures}/{args.samples} instances verified")
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     return 1 if failures else 0
 
 
@@ -649,6 +704,9 @@ def _sweep_grid_from_args(args: argparse.Namespace) -> GridSpec:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    tracer, code = _make_tracer(args)
+    if code is not None:
+        return code
     grid = _sweep_grid_from_args(args)
     # Named grids fix their cell coordinates, so --mpc-workers applies as
     # the environment override every MPC network resolves its default
@@ -678,6 +736,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             repeats=args.repeats,
             retries=args.retries,
+            trace=tracer,
         )
     finally:
         if env_workers is not None:
@@ -705,6 +764,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"aggregate[word_bits={bits}]: rounds={stats.rounds} "
                   f"messages={stats.messages} words={stats.total_words} "
                   f"bits={stats.total_bits}")
+        print(sweep.timing_histogram())
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     if args.metrics is not None:
         from repro.metrics import validate_metrics
 
@@ -807,6 +869,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a structured metrics document (per-phase series plus "
         "the shuffle ledger) to PATH; congest and mpc models only",
     )
+    mvc.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event / Perfetto JSON timeline of the "
+        "run (stage spans, shuffles, shard-worker barriers, recovery) to "
+        "PATH; congest and mpc models only — purely observational, the "
+        "run's outputs and ledgers are unchanged",
+    )
     mvc.add_argument("--exact", action="store_true")
     mvc.set_defaults(func=_cmd_mvc)
 
@@ -868,6 +939,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a structured metrics document (per-phase series plus "
         "the shuffle ledger) to PATH; congest and mpc models only",
     )
+    mds.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event / Perfetto JSON timeline of the "
+        "run (stage spans, shuffles, shard-worker barriers, recovery) to "
+        "PATH; congest and mpc models only — purely observational, the "
+        "run's outputs and ledgers are unchanged",
+    )
     mds.add_argument("--exact", action="store_true")
     mds.set_defaults(func=_cmd_mds)
 
@@ -924,6 +1004,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for the sample sweep (default: serial)",
+    )
+    verify.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event / Perfetto JSON timeline of the "
+        "verification sweep (one span per sample cell) to PATH",
     )
     verify.set_defaults(func=_cmd_verify)
 
@@ -1037,6 +1124,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the merged results as JSON",
+    )
+    sweep.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event / Perfetto JSON timeline of the "
+        "sweep (one complete event per cell: evaluation window on serial "
+        "runs, submit-to-result window on pool runs) to PATH",
     )
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress the per-cell table"

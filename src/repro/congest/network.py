@@ -215,6 +215,15 @@ class CongestNetwork:
         self.strict = strict
         self.seed = seed
         self.on_round = on_round
+        #: Optional :class:`repro.trace.TraceRecorder`; purely an observer
+        #: (spans + counters around/inside :meth:`run`), never touches
+        #: metering or scheduling.  Set by the CLI / drivers after
+        #: construction.
+        self.tracer = None
+        #: Optional :class:`repro.metrics.MetricsCollector` back-reference,
+        #: set by ``MetricsCollector.attach`` so solvers can publish
+        #: deterministic convergence series.
+        self.collector = None
 
         ordering = sorted(graph.nodes, key=repr)
         self._label_of = dict(enumerate(ordering))
@@ -335,14 +344,44 @@ class CongestNetwork:
         time (see :mod:`repro.congest.engine`); every engine produces
         identical results.
         """
-        return self._engine.run(
-            factory,
-            inputs=inputs,
-            max_rounds=max_rounds,
-            trace=trace,
-            on_round=on_round,
-            label=label,
-        )
+        tracer = self.tracer
+        if tracer is None:
+            return self._engine.run(
+                factory,
+                inputs=inputs,
+                max_rounds=max_rounds,
+                trace=trace,
+                on_round=on_round,
+                label=label,
+            )
+        # Tracing tee: span the stage, sample a counter per RoundEvent.
+        # Timing happens only in this wrapper — the engines and metering
+        # never see the recorder, so traced runs stay byte-identical.
+        hook = on_round if on_round is not None else self.on_round
+
+        def traced_hook(event: "RoundEvent") -> None:
+            tracer.counter(
+                "congest.round",
+                {
+                    "messages": event.messages,
+                    "words": event.words,
+                    "awake": event.awake,
+                },
+            )
+            if hook is not None:
+                hook(event)
+
+        with tracer.span(
+            label or "run", cat="stage", engine=self._engine.name, n=self.n
+        ):
+            return self._engine.run(
+                factory,
+                inputs=inputs,
+                max_rounds=max_rounds,
+                trace=trace,
+                on_round=traced_hook,
+                label=label,
+            )
 
     def _collect(
         self,

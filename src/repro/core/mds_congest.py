@@ -384,6 +384,8 @@ def approx_mds_square(
 
     phases = 0
     cleanup: set[int] = set()
+    ds_curve: list[int] = []
+    u_curve: list[int] = []
     while True:
         phases += 1
         for stage_label, stage in (
@@ -399,6 +401,23 @@ def approx_mds_square(
             lambda view: GlobalOrAlgorithm(view, "in_U"), label="global-or"
         )
         total = total + check.stats
+        # Per-phase convergence points, straight from the model state the
+        # driver already reads (|DS| grows, |U| shrinks): deterministic
+        # given the seed, identical across engines and backends.
+        ds_curve.append(
+            sum(
+                1
+                for node_id in network.ids()
+                if network.node_state[node_id].get("in_DS", False)
+            )
+        )
+        u_curve.append(
+            sum(
+                1
+                for node_id in network.ids()
+                if network.node_state[node_id].get("in_U", False)
+            )
+        )
         any_uncovered = next(iter(check.outputs.values()))
         if not any_uncovered:
             break
@@ -418,6 +437,14 @@ def approx_mds_square(
         if network.node_state[node_id].get("in_DS", False)
     } | cleanup
     dominating = {network.label_of(v) for v in ds_ids}
+
+    collector = getattr(network, "collector", None)
+    if collector is not None:
+        collector.record_convergence(
+            "dominating_set_size", ds_curve + [len(ds_ids)]
+        )
+        collector.record_convergence("uncovered_nodes", u_curve)
+
     return DistributedCoverResult(
         cover=dominating,
         stats=total,

@@ -91,6 +91,10 @@ class PhaseOneAlgorithm(NodeAlgorithm):
         self.is_candidate = False
         self.local_max = -1
         self.final_status = False
+        #: Iteration at which this node joined S (None if it never did).
+        #: Model-level and engine-independent, so drivers may derive
+        #: deterministic convergence curves from it.
+        self.join_iteration: int | None = None
 
     # -- candidacy ---------------------------------------------------------
 
@@ -109,7 +113,13 @@ class PhaseOneAlgorithm(NodeAlgorithm):
         self.node.state["in_R"] = self.in_R
         self.node.state["u_neighbors"] = u_neighbors
         self.node.state["tokens"] = tokens
-        self.finish({"in_S": self.in_S, "in_R": self.in_R})
+        self.finish(
+            {
+                "in_S": self.in_S,
+                "in_R": self.in_R,
+                "join_iteration": self.join_iteration,
+            }
+        )
 
     # -- protocol ----------------------------------------------------------
 
@@ -154,6 +164,7 @@ class PhaseOneAlgorithm(NodeAlgorithm):
         if self.in_R and any(msg[0] == _TAG_WIN for msg in inbox.values()):
             self.in_R = False
             self.in_S = True
+            self.join_iteration = self.iteration
         self.iteration += 1
         self.step = 0
         if self.iteration >= self.iterations:
@@ -308,6 +319,32 @@ def approx_mvc_square(
     }
     cover_ids = s_vertices | r_star
     cover = {network.label_of(v) for v in cover_ids}
+
+    collector = getattr(network, "collector", None)
+    if collector is not None:
+        # Deterministic convergence curves from the join stamps: cover
+        # growth per Phase I iteration (closed by the final cover once
+        # the leader's residual solution lands) and the shrinking
+        # uncovered set |R|.  Derived from model state, never engine
+        # scheduling, so the curves are engine- and backend-invariant.
+        joins = sorted(
+            out["join_iteration"]
+            for out in phase_one.outputs.values()
+            if out["in_S"]
+        )
+        cover_curve = []
+        joined = 0
+        for i in range(iterations):
+            while joined < len(joins) and joins[joined] <= i:
+                joined += 1
+            cover_curve.append(joined)
+        collector.record_convergence(
+            "cover_size", cover_curve + [len(cover_ids)]
+        )
+        collector.record_convergence(
+            "uncovered_nodes", [n - c for c in cover_curve]
+        )
+
     return DistributedCoverResult(
         cover=cover,
         stats=total,

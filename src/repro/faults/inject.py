@@ -44,6 +44,17 @@ class FaultInjector:
         self.skipped = 0
         self.recoveries = 0
         self.degraded = False
+        #: Optional :class:`repro.trace.TraceRecorder`: fired events drop
+        #: instant markers into the timeline.  Set by whoever wires the
+        #: tracing plane (the shard pool / compiled network); the report
+        #: and firing logic never read it.
+        self.tracer = None
+
+    def _mark(self, kind: str, at: int, target: int | None) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"fault.{kind}", cat="fault", at=at, target=target
+            )
 
     def _pop(self, kind: str, at: int) -> list[Any]:
         hits = [e for e in self._pending if e.kind == kind and e.at == at]
@@ -58,6 +69,7 @@ class FaultInjector:
                 time.sleep(event.delay)
             self.injected["straggle"] += 1
             self.fired.append(("straggle", step_index, None))
+            self._mark("straggle", step_index, None)
         for event in self._pop("crash", step_index):
             victim = event.target
             if victim is None:
@@ -69,6 +81,7 @@ class FaultInjector:
             if pool.kill_worker(victim):
                 self.injected["crash"] += 1
                 self.fired.append(("crash", step_index, victim))
+                self._mark("crash", step_index, victim)
             else:
                 self.skipped += 1
 
@@ -83,6 +96,7 @@ class FaultInjector:
                 machine %= runtime.num_machines
             self.injected["mem"] += 1
             self.fired.append(("mem", at, machine))
+            self._mark("mem", at, machine)
             raise MemoryBudgetExceeded(
                 f"machine {machine} exceeded its I/O budget at shuffle {at} "
                 f"(injected by fault plan)"

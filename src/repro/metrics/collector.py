@@ -12,7 +12,9 @@ files.
 The document is split in two, and the split is the contract:
 
 * ``deterministic`` — machine-independent fields only: phase structure,
-  per-phase round counts and the per-round message/word/cut series.
+  per-phase round counts, the per-round message/word/cut series, and
+  named convergence series recorded by the solver drivers
+  (:meth:`MetricsCollector.record_convergence`).
   These are covered by the engine parity contract *and* untouched by
   shuffle compression, so the section (and its canonical-JSON
   ``deterministic_sha256``) must be byte-identical across engines
@@ -37,8 +39,9 @@ import json
 from pathlib import Path
 from typing import Any
 
-#: Schema identifier stamped on every emitted document.
-SCHEMA = "repro.metrics/1"
+#: Schema identifier stamped on every emitted document.  ``/2`` added
+#: the ``convergence`` section to the deterministic payload.
+SCHEMA = "repro.metrics/2"
 
 
 def _canonical(payload: Any) -> str:
@@ -71,6 +74,11 @@ class MetricsCollector:
         self.engine: str | None = None
         self.mpc: dict[str, Any] | None = None
         self.faults: dict[str, Any] | None = None
+        #: Named deterministic convergence series — recorded by solver
+        #: drivers from model-level state (cover growth, |DS|/|U| per
+        #: phase, matched edges), never from engine scheduling, so they
+        #: belong in the deterministic section.
+        self.convergence: dict[str, list[int]] = {}
 
     # -- the hooks ---------------------------------------------------------
 
@@ -101,6 +109,9 @@ class MetricsCollector:
         runtime's ``on_shuffle`` hook as well.  Returns ``self``.
         """
         network.on_round = self.on_round
+        # Back-reference so solver drivers can record convergence series
+        # without threading the collector through every signature.
+        network.collector = self
         self.set_engine(network.engine_name)
         runtime = getattr(network, "runtime", None)
         if runtime is not None:
@@ -123,6 +134,17 @@ class MetricsCollector:
         local computation runs, never what the ledger records.
         """
         self.mpc = summary
+
+    def record_convergence(self, name: str, values: list[int]) -> None:
+        """Record a named deterministic convergence series.
+
+        ``values`` must be derived from model-level solver state (set
+        sizes, matched edges) — never from engine scheduling observables
+        like per-round awake counts, which legitimately differ across
+        engines.  Re-recording a name overwrites it, so parity re-runs
+        on the same collector stay idempotent.
+        """
+        self.convergence[name] = [int(v) for v in values]
 
     def record_faults(self, report: dict[str, Any]) -> None:
         """Store the fault-injection/recovery report for the variant.
@@ -174,6 +196,10 @@ class MetricsCollector:
             "label": self.label,
             "phases": phases,
             "totals": totals,
+            "convergence": {
+                name: list(values)
+                for name, values in sorted(self.convergence.items())
+            },
         }
 
     def deterministic_sha256(self) -> str:
@@ -264,6 +290,16 @@ def validate_metrics(document: dict[str, Any]) -> None:
     for key in ("rounds", "messages", "words", "cut_words"):
         if key not in totals:
             raise ValueError(f"deterministic.totals is missing {key!r}")
+    convergence = deterministic.get("convergence")
+    if not isinstance(convergence, dict):
+        raise ValueError("deterministic.convergence must be an object")
+    for name, series in convergence.items():
+        if not isinstance(series, list) or not all(
+            isinstance(v, int) and not isinstance(v, bool) for v in series
+        ):
+            raise ValueError(
+                f"convergence series {name!r} must be a list of integers"
+            )
     for index, phase in enumerate(deterministic["phases"]):
         for key in ("index", "label", "rounds", "messages", "words",
                     "cut_words", "series"):

@@ -281,6 +281,52 @@ class MPCCongestNetwork(CongestNetwork):
         if max_rounds is None:
             max_rounds = DEFAULT_ROUND_FACTOR * self.n * self.n + 1000
         hook = on_round if on_round is not None else self.on_round
+        tracer = self.tracer
+        if tracer is None:
+            return self._run_compiled(
+                factory, inputs, max_rounds, trace, hook, label
+            )
+        # Tracing tee (see CongestNetwork.run): propagate the recorder to
+        # the shuffle barrier and the fault plane, span the stage, sample
+        # a counter per RoundEvent.  All of it observes after-the-fact —
+        # planning, metering and the ledgers never read the clock.
+        self.runtime.tracer = tracer
+        if (
+            self.fault_injector is not None
+            and getattr(self.fault_injector, "tracer", None) is None
+        ):
+            self.fault_injector.tracer = tracer
+
+        def traced_hook(event: RoundEvent, _inner=hook) -> None:
+            tracer.counter(
+                "congest.round",
+                {
+                    "messages": event.messages,
+                    "words": event.words,
+                    "awake": event.awake,
+                },
+            )
+            if _inner is not None:
+                _inner(event)
+
+        with tracer.span(
+            label or "run", cat="stage", engine="mpc", n=self.n
+        ):
+            return self._run_compiled(
+                factory, inputs, max_rounds, trace, traced_hook, label
+            )
+
+    def _run_compiled(
+        self,
+        factory: AlgorithmFactory,
+        inputs: Mapping[Any, Any] | None,
+        max_rounds: int,
+        trace: bool,
+        hook: Callable[[RoundEvent], None] | None,
+        label: str | None,
+    ) -> RunResult:
+        """The compiled execution loop behind :meth:`run`."""
+        tracer = self.tracer
         effective_workers = min(self.workers, self.num_machines)
         if effective_workers > 1 and _parallel.fork_available():
             node_shards = self._node_shards(effective_workers)
@@ -318,6 +364,8 @@ class MPCCongestNetwork(CongestNetwork):
                     algorithms, inboxes, pending, stats, timeline, hook, label
                 )
                 continue
+            if tracer is not None:
+                tracer.begin("window", cat="mpc", k=window)
             self._prefetch_window(pending, window, live_machines)
             executed = 0
             for _ in range(window):
@@ -336,6 +384,8 @@ class MPCCongestNetwork(CongestNetwork):
                 )
                 executed += 1
             self.runtime.absorb_early_finish(window - executed)
+            if tracer is not None:
+                tracer.end(executed=executed)
 
         outputs = {
             self._label_of[alg.node.id]: alg.output for alg in algorithms
@@ -424,8 +474,12 @@ class MPCCongestNetwork(CongestNetwork):
                 pending[target].update(items)
             return pending
 
+        tracer = self.tracer
         with _parallel.ForkShardPool(
-            handlers, injector=self.fault_injector, recovery=self._recovery
+            handlers,
+            injector=self.fault_injector,
+            recovery=self._recovery,
+            tracer=tracer,
         ) as pool:
             pending = merge(pool.step_all(("start", None)))
             self._emit(timeline, hook, 0, stats.messages, stats.total_words,
@@ -449,6 +503,8 @@ class MPCCongestNetwork(CongestNetwork):
                         timeline, hook, label,
                     )
                     continue
+                if tracer is not None:
+                    tracer.begin("window", cat="mpc", k=window)
                 self._prefetch_window(pending, window, live_machines)
                 executed = 0
                 for _ in range(window):
@@ -466,6 +522,8 @@ class MPCCongestNetwork(CongestNetwork):
                     )
                     executed += 1
                 self.runtime.absorb_early_finish(window - executed)
+                if tracer is not None:
+                    tracer.end(executed=executed)
             for frag in pool.step_all(("finalize", None)):
                 for nid, state in frag["state"].items():
                     self.node_state[nid] = state
@@ -997,6 +1055,7 @@ def solve_with_parity(
     collector: Any | None = None,
     workers: int | None = None,
     faults: Any = None,
+    tracer: Any = None,
 ) -> tuple[Any, MPCCongestNetwork, dict[str, Any]]:
     """Run ``solver`` on the MPC backend and on an engine-v2 shadow.
 
@@ -1034,6 +1093,8 @@ def solve_with_parity(
     )
     if collector is not None:
         mpc_net.runtime.on_shuffle = collector.on_shuffle
+        mpc_net.collector = collector
+    mpc_net.tracer = tracer
     mpc_result = solver(network=mpc_net)
 
     if mpc_result.cover != ref_result.cover:
@@ -1127,6 +1188,7 @@ def _solve_on_mpc(
     collector: Any | None = None,
     workers: int | None = None,
     faults: Any = None,
+    tracer: Any = None,
 ):
     """Shared scaffolding of the compiled solver entry points.
 
@@ -1141,7 +1203,7 @@ def _solve_on_mpc(
         result, net, report = solve_with_parity(
             solver, graph, alpha=alpha, seed=seed, io_factor=io_factor,
             compress=compress, collector=collector, workers=workers,
-            faults=faults,
+            faults=faults, tracer=tracer,
         )
     else:
         net = MPCCongestNetwork(
@@ -1153,6 +1215,8 @@ def _solve_on_mpc(
         )
         if collector is not None:
             net.runtime.on_shuffle = collector.on_shuffle
+            net.collector = collector
+        net.tracer = tracer
         result = solver(network=net)
         report = {"parity": False}
     # The sweep/CLI payload is mpc_summary() verbatim — the worker count
@@ -1186,6 +1250,7 @@ def solve_mvc_mpc(
     collector: Any | None = None,
     workers: int | None = None,
     faults: Any = None,
+    tracer: Any = None,
 ):
     """Algorithm 1 ((1+eps)-MVC of G^2) compiled onto the MPC backend.
 
@@ -1199,7 +1264,7 @@ def solve_mvc_mpc(
 
     return _solve_on_mpc(
         solver, graph, alpha, seed, check_parity, io_factor, compress,
-        collector, workers, faults,
+        collector, workers, faults, tracer,
     )
 
 
@@ -1214,6 +1279,7 @@ def solve_mds_mpc(
     collector: Any | None = None,
     workers: int | None = None,
     faults: Any = None,
+    tracer: Any = None,
 ):
     """Theorem 28 (O(log Delta)-MDS of G^2) compiled onto the MPC backend."""
     from repro.core.mds_congest import approx_mds_square
@@ -1223,5 +1289,5 @@ def solve_mds_mpc(
 
     return _solve_on_mpc(
         solver, graph, alpha, seed, check_parity, io_factor, compress,
-        collector, workers, faults,
+        collector, workers, faults, tracer,
     )

@@ -232,6 +232,11 @@ class _Coordinator(MachineProgram):
         self.buffer: list[tuple[int, int]] = []
         self.buffer_count = 0
         self.waiting_children = 0
+        #: Per-phase ``(active_edges, accepted)`` pairs — the edge count
+        #: the tree reported entering the phase and the verdict size.
+        #: Model-level, deterministic, and (like ``phases``) mirrored
+        #: back from shard workers by the parallel finalize.
+        self.progress: list[tuple[int, int]] = []
 
     def _start_wave(self, verdict: tuple[tuple[int, int], ...]):
         self.waiting_children = len(self.children)
@@ -254,6 +259,7 @@ class _Coordinator(MachineProgram):
             return None
         self.phases += 1
         if self.buffer_count == 0:
+            self.progress.append((0, 0))
             self.finish(self.phases)
             return [(child, (_TAG_HALT,)) for child in self.children]
         # Finish the phase: deterministic greedy, vertex-disjoint, capped
@@ -268,6 +274,7 @@ class _Coordinator(MachineProgram):
             if u not in taken and v not in taken:
                 taken.update((u, v))
                 accepted.append((u, v))
+        self.progress.append((self.buffer_count, len(accepted)))
         self.buffer = []
         self.buffer_count = 0
         return self._start_wave(tuple(accepted))
@@ -280,6 +287,8 @@ def mpc_maximal_matching(
     io_factor: float = 8.0,
     workers: int | None = None,
     faults: Any = None,
+    collector: Any = None,
+    tracer: Any = None,
 ) -> MatchingResult:
     """Compute a maximal matching of ``graph`` on the MPC simulator.
 
@@ -290,7 +299,11 @@ def mpc_maximal_matching(
     small for the edge partition or the phase traffic.  ``faults`` (a
     spec string or :class:`~repro.faults.plan.FaultPlan`) attaches the
     fault-injection plane with checkpointed crash recovery; the ledger
-    and matching are unchanged by recovered faults.
+    and matching are unchanged by recovered faults.  ``collector`` (a
+    :class:`~repro.metrics.MetricsCollector`) observes the shuffle
+    stream and receives the matched/active-edge convergence curves;
+    ``tracer`` (a :class:`~repro.trace.TraceRecorder`) gets the shuffle
+    and worker-barrier timeline.
     """
     if graph.number_of_nodes() == 0:
         raise ValueError("graph must be non-empty")
@@ -357,6 +370,10 @@ def mpc_maximal_matching(
     # down-and-up wave of <= 2 * depth + 2 rounds.
     max_rounds = (n + 8) * (2 * depth + 2)
     runtime = MPCRuntime(machines, word_bits)
+    if collector is not None:
+        runtime.on_shuffle = collector.on_shuffle
+    if tracer is not None:
+        runtime.tracer = tracer
     fault_injector = None
     if faults:
         from repro.faults import FaultInjector, FaultPlan, RecoveryConfig
@@ -370,6 +387,7 @@ def mpc_maximal_matching(
         runtime.fault_injector = fault_injector
         runtime.recovery = RecoveryConfig(max_recoveries=plan.max_recoveries)
     result = runtime.run(programs, max_rounds=max_rounds, workers=workers)
+    coordinator = programs[_COORDINATOR]
     matching: set[frozenset] = set()
     matched_vertices: set[int] = set()
     for mid in range(1, total_machines):
@@ -379,9 +397,9 @@ def mpc_maximal_matching(
             )
             matched_vertices.update((u, v))
             matching.add(frozenset((label_of[u], label_of[v])))
-    return MatchingResult(
+    outcome = MatchingResult(
         matching=matching,
-        phases=programs[_COORDINATOR].phases,
+        phases=coordinator.phases,
         machines=total_machines,
         fan_in=fan_in,
         alpha=alpha,
@@ -390,6 +408,30 @@ def mpc_maximal_matching(
         stats=result.stats,
         faults=None if fault_injector is None else fault_injector.report(),
     )
+    if collector is not None:
+        from repro.mpc import parallel as _parallel
+
+        collector.set_engine("mpc")
+        matched_curve: list[int] = []
+        matched_total = 0
+        for _active, accepted in coordinator.progress:
+            matched_total += accepted
+            matched_curve.append(matched_total)
+        collector.record_convergence("matched_edges", matched_curve)
+        collector.record_convergence(
+            "active_edges", [active for active, _ in coordinator.progress]
+        )
+        collector.record_mpc(
+            {
+                **outcome.summary(),
+                "workers": min(
+                    _parallel.resolve_workers(workers), total_machines
+                ),
+            }
+        )
+        if outcome.faults is not None:
+            collector.record_faults(outcome.faults)
+    return outcome
 
 
 def assert_maximal_matching(graph: nx.Graph, matching: set[frozenset]) -> None:

@@ -46,6 +46,7 @@ import importlib
 import multiprocessing
 import os
 import signal
+import time
 import warnings
 from collections.abc import Callable, Sequence
 from typing import Any
@@ -176,7 +177,16 @@ def _shard_main(conn, handler: Callable[[Any], Any]) -> None:
     Handler-level failures are expected to be embedded in the handler's
     own result (with unit attribution); this outer catch is the transport
     backstop for bugs in the plumbing itself.
+
+    Every ``ok`` result ships a ``(start_ns, end_ns)`` pair of local
+    ``time.monotonic_ns()`` stamps bracketing the handler call.  Fork
+    children share the parent's ``CLOCK_MONOTONIC`` domain, so the parent
+    can normalize these against its own origin (and clamp them into the
+    enclosing barrier window) to draw per-worker timelines.  Stamping is
+    unconditional — two clock reads per task — and purely additive: the
+    stamps never influence results, ordering or the ledger.
     """
+    monotonic_ns = time.monotonic_ns
     try:
         while True:
             try:
@@ -185,8 +195,9 @@ def _shard_main(conn, handler: Callable[[Any], Any]) -> None:
                 return
             if task == _STOP:
                 return
+            start_ns = monotonic_ns()
             try:
-                result = ("ok", handler(task))
+                result = ("ok", handler(task), (start_ns, monotonic_ns()))
             except BaseException as exc:
                 result = (
                     "fail",
@@ -246,6 +257,7 @@ class ForkShardPool:
         handlers: Sequence[Callable[[Any], Any]],
         injector: Any = None,
         recovery: Any = None,
+        tracer: Any = None,
     ) -> None:
         if not handlers:
             raise ValueError("pool needs at least one shard handler")
@@ -257,6 +269,16 @@ class ForkShardPool:
         self._handlers = list(handlers)
         self._injector = injector
         self._recovery = recovery
+        #: Optional :class:`repro.trace.TraceRecorder`: barrier windows on
+        #: the main track, worker-stamped compute intervals on per-shard
+        #: tracks (tid ``shard+1``), fork/checkpoint/restore/replay/degrade
+        #: markers.  Observation only.
+        self._tracer = tracer
+        if tracer is not None and injector is not None:
+            # Fault markers land in the same timeline as the recovery
+            # spans they cause.
+            if getattr(injector, "tracer", None) is None:
+                injector.tracer = tracer
         self._conns: list[Any] = []
         self._procs: list[Any] = []
         self._checkpoints: list[Any] | None = None
@@ -299,7 +321,8 @@ class ForkShardPool:
 
     def _spawn(self) -> None:
         ctx = multiprocessing.get_context("fork")
-        for handler in self._handlers:
+        tracer = self._tracer
+        for index, handler in enumerate(self._handlers):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_shard_main,
@@ -310,6 +333,14 @@ class ForkShardPool:
             child_conn.close()
             self._conns.append(parent_conn)
             self._procs.append(proc)
+            if tracer is not None:
+                tracer.name_thread(index + 1, f"shard-{index}")
+                tracer.instant(
+                    "worker.fork",
+                    tid=index + 1,
+                    cat="pool",
+                    worker_pid=proc.pid,
+                )
 
     def _teardown_procs(self) -> None:
         """Terminate and join every child, close every pipe; no zombies."""
@@ -339,8 +370,12 @@ class ForkShardPool:
         proc.join(timeout=5)
         return True
 
-    def _barrier(self, tasks: Sequence[Any]) -> list[Any]:
+    def _barrier(
+        self, tasks: Sequence[Any], trace_label: str | None = None
+    ) -> list[Any]:
         """Raw barrier: send one task per shard, collect one result each."""
+        tracer = self._tracer
+        barrier_start = tracer.now_ns() if tracer is not None else 0
         for index, (conn, task) in enumerate(zip(self._conns, tasks)):
             try:
                 conn.send(task)
@@ -349,14 +384,16 @@ class ForkShardPool:
                     f"MPC shard worker {index} died before the barrier"
                 ) from exc
         results: list[Any] = []
+        stamps: list[tuple[int, int] | None] = [None] * len(self._conns)
         failure: tuple[str, str, str] | None = None
         for index, conn in enumerate(self._conns):
             try:
-                status, value = conn.recv()
+                message = conn.recv()
             except (EOFError, OSError) as exc:
                 raise WorkerCrashError(
                     f"MPC shard worker {index} died mid-round"
                 ) from exc
+            status, value = message[0], message[1]
             if status == "fail":
                 # Keep draining the remaining pipes so the pool stays
                 # usable for shutdown, then raise the first failure.
@@ -364,8 +401,33 @@ class ForkShardPool:
                     failure = value
                 continue
             results.append(value)
+            stamps[index] = message[2] if len(message) > 2 else None
         if failure is not None:
             raise rebuild_exception(*failure)
+        if tracer is not None:
+            barrier_end = tracer.now_ns()
+            label = trace_label or _task_kind(tasks) or "barrier"
+            tracer.complete(
+                "barrier",
+                barrier_start,
+                barrier_end,
+                cat="pool",
+                kind=label,
+                step=self._step_index,
+            )
+            for index, stamp in enumerate(stamps):
+                if stamp is None:
+                    continue
+                # Worker stamps share the parent's monotonic domain under
+                # fork; the clamp into the barrier window guards skew.
+                tracer.complete(
+                    label,
+                    stamp[0],
+                    stamp[1],
+                    tid=index + 1,
+                    cat="worker",
+                    clamp=(barrier_start, barrier_end),
+                )
         return results
 
     def _checkpoint(self) -> None:
@@ -403,17 +465,33 @@ class ForkShardPool:
         tasks since then (results discarded — the parent already
         consumed them) reproduces the pre-crash state exactly.
         """
+        tracer = self._tracer
+        respawn_start = tracer.now_ns() if tracer is not None else 0
         self._spawn()
         if self._checkpoints is not None:
             self._barrier(
                 [("restore", blob) for blob in self._checkpoints]
             )
         for tasks in self._history:
-            self._barrier(tasks)
+            self._barrier(tasks, trace_label="replay")
+        if tracer is not None:
+            tracer.complete(
+                "recovery.respawn",
+                respawn_start,
+                tracer.now_ns(),
+                cat="recovery",
+                restored=self._checkpoints is not None,
+                replayed=len(self._history),
+            )
 
     def _degrade(self) -> None:
         """Fall back to in-process serial execution of the handlers."""
         self._degraded = True
+        if self._tracer is not None:
+            self._tracer.instant(
+                "recovery.degrade", cat="recovery",
+                recoveries=self._recoveries - 1,
+            )
         if self._checkpoints is not None:
             for handler, blob in zip(self._handlers, self._checkpoints):
                 handler(("restore", blob))
@@ -463,6 +541,11 @@ class ForkShardPool:
                     self._after_barrier(tasks)
                 return results
             except WorkerCrashError:
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "worker.crash-detected", cat="recovery",
+                        step=self._step_index,
+                    )
                 self._teardown_procs()
                 if self._recovery is None:
                     self._broken = True
@@ -505,6 +588,14 @@ class ForkShardPool:
 def _is_finalize(tasks: Sequence[Any]) -> bool:
     first = tasks[0] if tasks else None
     return isinstance(first, tuple) and bool(first) and first[0] == "finalize"
+
+
+def _task_kind(tasks: Sequence[Any]) -> str | None:
+    """The ``("kind", payload)`` tag of a barrier's tasks, if recognizable."""
+    first = tasks[0] if tasks else None
+    if isinstance(first, tuple) and first and isinstance(first[0], str):
+        return first[0]
+    return None
 
 
 def _degraded_warning_class() -> type:

@@ -175,6 +175,10 @@ class MPCRuntime:
         #: the parallel path forwards to its :class:`ForkShardPool`,
         #: enabling checkpointed crash recovery.
         self.recovery = None
+        #: Optional :class:`repro.trace.TraceRecorder`.  Observation only:
+        #: it times the shuffle barrier and rides along to the shard pool;
+        #: ledger, stats and delivery order never depend on it.
+        self.tracer = None
 
     @property
     def num_machines(self) -> int:
@@ -206,6 +210,8 @@ class MPCRuntime:
             raise ValueError("congest_rounds must be positive")
         if self.fault_injector is not None:
             self.fault_injector.before_shuffle(self)
+        tracer = self.tracer
+        shuffle_start = tracer.now_ns() if tracer is not None else 0
         m = self.num_machines
         if len(outboxes) != m:
             raise ValueError(
@@ -267,6 +273,18 @@ class MPCRuntime:
         self.trace.append(record)
         if self.on_shuffle is not None:
             self.on_shuffle(record)
+        if tracer is not None:
+            tracer.complete(
+                "shuffle",
+                shuffle_start,
+                tracer.now_ns(),
+                cat="mpc",
+                round=record.round_index,
+                messages=messages,
+                words=words_total,
+                congest_rounds=congest_rounds,
+                active=record.active_machines,
+            )
         return inboxes
 
     def absorb_early_finish(self, unexecuted_rounds: int) -> None:
@@ -390,7 +408,10 @@ class MPCRuntime:
                     done.add(mid)
 
         with _parallel.ForkShardPool(
-            handlers, injector=self.fault_injector, recovery=self.recovery
+            handlers,
+            injector=self.fault_injector,
+            recovery=self.recovery,
+            tracer=self.tracer,
         ) as pool:
             absorb(pool.step_all(("start", None)))
             while len(done) < m:

@@ -126,6 +126,9 @@ class CellResult:
         }
         if include_timing:
             data["seconds"] = self.seconds
+            # Alias with the documented name: per-cell wall time.  Scoped
+            # with the timings (machine-dependent), like ``max_rss_kb``.
+            data["elapsed_s"] = self.seconds
             data["max_rss_kb"] = self.max_rss_kb
             data["warning"] = self.warning
             data["attempts"] = self.attempts
@@ -278,6 +281,37 @@ class SweepResult:
                 )
             )
         return rows
+
+    def timing_histogram(self, bins: int = 16) -> str:
+        """One-line per-cell wall-time histogram for the table footer.
+
+        Buckets the cells' ``seconds`` linearly between the fastest and
+        slowest cell; purely informational (wall time never enters the
+        deterministic digest).
+        """
+        times = [r.seconds for r in self.results]
+        if not times:
+            return "cell wall-time: no cells"
+        lo, hi = min(times), max(times)
+        counts = [0] * bins
+        if hi <= lo:
+            counts[0] = len(times)
+        else:
+            for t in times:
+                index = min(bins - 1, int((t - lo) / (hi - lo) * bins))
+                counts[index] += 1
+        blocks = "▁▂▃▄▅▆▇█"
+        peak = max(counts)
+        bar = "".join(
+            "." if count == 0
+            else blocks[max(0, (len(blocks) * count - 1) // peak)]
+            for count in counts
+        )
+        return (
+            f"cell wall-time: min {lo * 1e3:.1f} ms · "
+            f"max {hi * 1e3:.1f} ms · total {sum(times):.2f} s · "
+            f"histogram [{bar}]"
+        )
 
 
 TABLE_HEADER = ("cell", "status", "rounds", "messages", "ms", "detail")
@@ -549,6 +583,7 @@ def run_sweep(
     graph_cache: bool = True,
     retries: int = 0,
     retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    trace: Any = None,
 ) -> SweepResult:
     """Evaluate every cell of ``grid`` and merge the outcomes.
 
@@ -578,6 +613,11 @@ def run_sweep(
     payloads (deterministic tasks), so the merged deterministic digest is
     retry-invariant; only the timing-scoped ``attempts`` field records
     the extra work.
+
+    ``trace`` (a :class:`repro.trace.TraceRecorder`) adds one complete
+    event per cell to the timeline — the in-process evaluation window on
+    serial runs, the submit-to-result window on pool runs.  The tracer is
+    a pure observer: payloads and the deterministic digest are unchanged.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -587,13 +627,19 @@ def run_sweep(
     if graph_cache:
         _prewarm_with_budget(grid.cells, timeout)
     if jobs == 1 or len(grid.cells) <= 1:
-        results = [
-            evaluate_cell_with_retry(
+        results = []
+        for cell in grid.cells:
+            cell_start = trace.now_ns() if trace is not None else 0
+            result = evaluate_cell_with_retry(
                 cell, timeout=timeout, repeats=repeats, retries=retries,
                 backoff=retry_backoff,
             )
-            for cell in grid.cells
-        ]
+            if trace is not None:
+                trace.complete(
+                    f"cell:{cell.key}", cell_start, trace.now_ns(),
+                    cat="sweep", status=result.status,
+                )
+            results.append(result)
     else:
         initializer = initargs = None
         if graph_cache and multiprocessing.get_start_method() != "fork":
@@ -607,6 +653,7 @@ def run_sweep(
             futures = [
                 (
                     cell,
+                    trace.now_ns() if trace is not None else 0,
                     pool.submit(
                         _evaluate_remote,
                         (cell, timeout, repeats, retries, retry_backoff),
@@ -615,7 +662,7 @@ def run_sweep(
                 for cell in grid.cells
             ]
             results = []
-            for cell, future in futures:
+            for cell, submit_ns, future in futures:
                 try:
                     results.append(future.result())
                 except Exception as exc:
@@ -627,6 +674,11 @@ def run_sweep(
                             status=STATUS_ERROR,
                             error=f"worker failed: {exc!r}",
                         )
+                    )
+                if trace is not None:
+                    trace.complete(
+                        f"cell:{cell.key}", submit_ns, trace.now_ns(),
+                        cat="sweep", status=results[-1].status,
                     )
         # Pool-level failures never reached the in-worker retry loop;
         # give them their own bounded retries, each in a fresh worker.

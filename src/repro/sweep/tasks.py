@@ -112,7 +112,7 @@ def signature_of(items: Iterable[Any]) -> str:
 #: Tasks that honor the ``metrics`` cell param by embedding a
 #: :class:`repro.metrics.MetricsCollector` document in their payload.
 METRICS_TASKS: frozenset[str] = frozenset(
-    {"mvc-congest", "mds-congest", "mpc-mvc", "mpc-mds"}
+    {"mvc-congest", "mds-congest", "mpc-mvc", "mpc-mds", "mpc-matching"}
 )
 
 
@@ -484,9 +484,10 @@ def _mpc_matching(cell: Cell) -> dict[str, Any]:
 
     alpha = float(cell.param("alpha", 0.8))
     graph = _cell_graph(cell)
+    collector = _cell_collector(cell)
     result = mpc_maximal_matching(
         graph, alpha=alpha, seed=cell.seed, workers=_workers_of(cell),
-        faults=_faults_of(cell),
+        faults=_faults_of(cell), collector=collector,
     )
     assert_maximal_matching(graph, result.matching)
     oracle = deterministic_maximal_matching(graph)
@@ -508,6 +509,8 @@ def _mpc_matching(cell: Cell) -> dict[str, Any]:
     }
     if result.faults is not None:
         payload["faults"] = result.faults
+    if collector is not None:
+        payload["metrics"] = collector.to_json()
     return payload
 
 

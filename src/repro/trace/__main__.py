@@ -1,0 +1,31 @@
+"""``python -m repro.trace FILE [FILE ...]`` — validate trace files."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.trace.validate import load_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.trace FILE [FILE ...]", file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        try:
+            summary = load_trace(path)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: INVALID — {exc}")
+            status = 1
+            continue
+        print(
+            f"{path}: ok — {summary['events']} events, "
+            f"{summary['spans']} spans, {summary['tracks']} tracks"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""Shape validation for emitted trace-event files.
+
+Not a full Chrome trace-event implementation — exactly the subset the
+recorder emits, checked strictly: every event carries ``ph``/``ts``/
+``pid``/``tid``, phases are from the known set, ``B``/``E`` spans nest
+properly per ``(pid, tid)`` track, and ``X`` events carry a non-negative
+``dur``.  Returns a summary so callers (tests, the CI smoke step) can
+assert on what the trace actually contains.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+#: Event phases the recorder emits.
+KNOWN_PHASES = frozenset({"B", "E", "X", "i", "C", "M"})
+
+_REQUIRED = ("ph", "ts", "pid", "tid")
+
+
+def validate_trace(document: Any) -> dict[str, Any]:
+    """Validate a trace document; raise ``ValueError`` on any violation.
+
+    Accepts either the object format (``{"traceEvents": [...]}``) or a
+    bare event array.  Returns ``{"events", "spans", "tracks", "names"}``.
+    """
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError("trace document has no traceEvents array")
+    elif isinstance(document, list):
+        events = document
+    else:
+        raise ValueError("trace document must be an object or an array")
+
+    stacks: dict[tuple[Any, Any], list[str]] = {}
+    names: set[str] = set()
+    tracks: set[tuple[Any, Any]] = set()
+    spans = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event #{index} is not an object")
+        for key in _REQUIRED:
+            if key not in event:
+                raise ValueError(f"event #{index} is missing {key!r}")
+        ph = event["ph"]
+        if ph not in KNOWN_PHASES:
+            raise ValueError(f"event #{index} has unknown phase {ph!r}")
+        if not isinstance(event["ts"], (int, float)):
+            raise ValueError(f"event #{index} has a non-numeric ts")
+        track = (event["pid"], event["tid"])
+        tracks.add(track)
+        if ph != "M":
+            name = event.get("name")
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"event #{index} has no name")
+            names.add(name)
+        if ph == "B":
+            stacks.setdefault(track, []).append(event["name"])
+        elif ph == "E":
+            stack = stacks.get(track)
+            if not stack:
+                raise ValueError(
+                    f"event #{index}: E with no open span on track {track}"
+                )
+            opened = stack.pop()
+            if event["name"] != opened:
+                raise ValueError(
+                    f"event #{index}: E {event['name']!r} closes "
+                    f"B {opened!r} on track {track}"
+                )
+            spans += 1
+        elif ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event #{index}: X without dur >= 0")
+            spans += 1
+    for track, stack in stacks.items():
+        if stack:
+            raise ValueError(
+                f"unclosed span(s) {stack!r} on track {track}"
+            )
+    return {
+        "events": len(events),
+        "spans": spans,
+        "tracks": len(tracks),
+        "names": sorted(names),
+    }
+
+
+def load_trace(path: str | Path) -> dict[str, Any]:
+    """Load and validate a trace file; returns the validation summary."""
+    document = json.loads(Path(path).read_text())
+    return validate_trace(document)

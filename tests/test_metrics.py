@@ -368,3 +368,91 @@ class TestWindowPlannerCaches:
         approx_mvc_square(graph, 0.5, network=net)
         zero = net._delta_watchers_at(0)
         assert [d for (d,) in zero] == list(net._host[: net.n])
+
+
+class TestConvergenceSeries:
+    """Schema v2: deterministic per-iteration convergence curves.
+
+    The curves are recorded from model-level state (join stamps, node
+    states, coordinator progress) — never from engine scheduling — so
+    they sit inside the deterministic payload and must be identical
+    across engines, compression windows and shard-worker counts.
+    """
+
+    def test_mvc_curves_shape(self):
+        graph = gnp_graph(14, 0.3, seed=9)
+        net = CongestNetwork(graph, seed=9)
+        collector = MetricsCollector(label="conv").attach(net)
+        cover = approx_mvc_square(graph, 0.5, network=net)
+        doc = collector.to_json()
+        validate_metrics(doc)
+        curves = doc["deterministic"]["convergence"]
+        cover_curve = curves["cover_size"]
+        # Cumulative joins, capped by the final cover size.
+        assert all(a <= b for a, b in zip(cover_curve, cover_curve[1:]))
+        assert cover_curve[-1] == len(cover.cover)
+        uncovered = curves["uncovered_nodes"]
+        assert all(a >= b for a, b in zip(uncovered, uncovered[1:]))
+
+    def test_mds_curves_shape(self):
+        from repro.core.mds_congest import approx_mds_square
+
+        graph = gnp_graph(12, 0.3, seed=5)
+        net = CongestNetwork(graph, seed=5)
+        collector = MetricsCollector(label="conv").attach(net)
+        ds = approx_mds_square(graph, network=net)
+        curves = collector.to_json()["deterministic"]["convergence"]
+        assert curves["dominating_set_size"][-1] == len(ds.cover)
+        assert curves["uncovered_nodes"][-1] == 0
+
+    def test_identical_across_engines_and_backends(self):
+        graph = gnp_graph(14, 0.3, seed=9)
+        curves = {}
+        for engine in ENGINES:
+            net = CongestNetwork(graph, seed=9, engine=engine)
+            collector = MetricsCollector(label="conv").attach(net)
+            approx_mvc_square(graph, 0.5, network=net)
+            curves[engine] = _canonical(
+                collector.to_json()["deterministic"]["convergence"]
+            )
+        for workers in (1, 2):
+            collector = MetricsCollector(label="conv")
+            solve_mvc_mpc(
+                graph, 0.5, alpha=0.9, seed=9, compress="auto",
+                collector=collector, workers=workers,
+            )
+            curves[f"mpc-w{workers}"] = _canonical(
+                collector.to_json()["deterministic"]["convergence"]
+            )
+        assert len(set(curves.values())) == 1
+
+    def test_matching_task_records_curves(self):
+        import networkx as nx
+
+        from repro.mpc import mpc_maximal_matching
+
+        graph = nx.gnp_random_graph(16, 0.3, seed=2)
+        collector = MetricsCollector(label="conv")
+        outcome = mpc_maximal_matching(
+            graph, alpha=0.7, seed=0, collector=collector,
+        )
+        doc = collector.to_json()
+        validate_metrics(doc)
+        curves = doc["deterministic"]["convergence"]
+        matched = curves["matched_edges"]
+        assert all(a <= b for a, b in zip(matched, matched[1:]))
+        assert matched[-1] == len(outcome.matching)
+        assert len(curves["active_edges"]) == len(matched)
+
+    def test_validator_rejects_non_integer_series(self):
+        graph = gnp_graph(10, 0.3, seed=4)
+        net = CongestNetwork(graph, seed=4)
+        collector = MetricsCollector(label="conv").attach(net)
+        approx_mvc_square(graph, 0.5, network=net)
+        doc = collector.to_json()
+        doc["deterministic"]["convergence"]["cover_size"] = [1.5]
+        doc["deterministic_sha256"] = deterministic_sha256(
+            doc["deterministic"]
+        )
+        with pytest.raises(ValueError, match="list of integers"):
+            validate_metrics(doc)
