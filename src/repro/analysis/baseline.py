@@ -1,0 +1,123 @@
+"""Baseline file: grandfathered findings the gate tolerates but tracks.
+
+The baseline maps finding *fingerprints* (rule + path + message — no
+line numbers, so unrelated edits don't churn it) to counts.  CI enforces
+zero findings *beyond* the baseline; stale entries (baselined findings
+that no longer occur) are reported so the file shrinks monotonically —
+the workflow is: grandfather with ``--write-baseline``, burn down, never
+silently regrow.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.findings import Finding
+
+BASELINE_SCHEMA = "repro.analysis-baseline/1"
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but is not usable."""
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Load fingerprint counts from ``path``.
+
+    Raises :class:`BaselineError` on malformed content; a missing file is
+    the caller's concern (an explicit ``--baseline`` that does not exist
+    is an error, the default location is optional).
+    """
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path}: invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"baseline {path}: expected schema {BASELINE_SCHEMA!r}"
+        )
+    entries = doc.get("findings")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: 'findings' must be a list")
+    counts: Counter[str] = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline {path}: entries must be objects")
+        try:
+            fingerprint = (
+                f"{entry['rule']}::{entry['path']}::{entry['message']}"
+            )
+            count = int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BaselineError(
+                f"baseline {path}: entry missing rule/path/message"
+            ) from exc
+        counts[fingerprint] += count
+    return dict(counts)
+
+
+def save_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline at ``path``."""
+    counts: Counter[str] = Counter(f.fingerprint for f in findings)
+    by_fingerprint: dict[str, Finding] = {}
+    for finding in findings:
+        by_fingerprint.setdefault(finding.fingerprint, finding)
+    entries = [
+        {
+            "rule": by_fingerprint[fp].rule,
+            "path": by_fingerprint[fp].path,
+            "message": by_fingerprint[fp].message,
+            "count": counts[fp],
+        }
+        for fp in sorted(counts)
+    ]
+    doc = {"schema": BASELINE_SCHEMA, "findings": entries}
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+@dataclass
+class BaselineMatch:
+    """Result of filtering findings through a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    #: Fingerprints present in the baseline but absent from the run —
+    #: fixed findings whose entries should now be deleted.
+    stale: list[str] = field(default_factory=list)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "new": [f.to_json() for f in self.new],
+            "baselined": [f.to_json() for f in self.baselined],
+            "stale": sorted(self.stale),
+        }
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: dict[str, int]
+) -> BaselineMatch:
+    """Split ``findings`` into new vs baselined, and spot stale entries.
+
+    Counts matter: if the baseline grandfathers two occurrences of a
+    fingerprint and a third appears, the third is *new*.
+    """
+    remaining = dict(baseline)
+    match = BaselineMatch()
+    for finding in sorted(findings):
+        budget = remaining.get(finding.fingerprint, 0)
+        if budget > 0:
+            remaining[finding.fingerprint] = budget - 1
+            match.baselined.append(finding)
+        else:
+            match.new.append(finding)
+    match.stale = sorted(
+        fp for fp, budget in remaining.items() if budget > 0
+    )
+    return match

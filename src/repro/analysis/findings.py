@@ -1,0 +1,71 @@
+"""Finding objects: what a rule reports and how it serializes.
+
+A :class:`Finding` is one violation of the determinism contract at one
+source location.  Findings are value objects — hashable, ordered by
+location — and carry a *fingerprint* (rule + path + message, no line
+number) so the baseline survives unrelated edits that move code around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One determinism-contract violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: Enclosing function/class, when the rule can attribute one.
+    symbol: str | None = field(default=None, compare=False)
+
+    @property
+    def family(self) -> str:
+        """The rule family prefix (``DET``, ``SCOPE``, ``PAR``, ...)."""
+        return "".join(c for c in self.rule if c.isalpha())
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching.
+
+        Deliberately excludes ``line``/``col``: a grandfathered finding
+        stays grandfathered when unrelated edits shift it, and expires
+        exactly when the offending code (or its message) changes.
+        """
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "family": self.family,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line text form: ``path:line:col: RULE message``."""
+        where = f"{self.path}:{self.line}:{self.col}"
+        sym = f" [{self.symbol}]" if self.symbol else ""
+        return f"{where}: {self.rule} {self.message}{sym}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A finding that a pragma silenced, with the pragma's stated reason."""
+
+    finding: Finding
+    reason: str
+
+    def to_json(self) -> dict[str, Any]:
+        data = self.finding.to_json()
+        data["suppressed"] = True
+        data["reason"] = self.reason
+        return data

@@ -1,0 +1,514 @@
+"""DET rules: nondeterminism sources in deterministic modules.
+
+These rules only run on modules classified deterministic (``repro/*``
+outside the declared timing planes, or files marked
+``# repro: deterministic-module``).  Each one targets a nondeterminism
+source that has bitten real parity guarantees in this class of codebase:
+
+* ``DET001`` — unseeded randomness (the process-global ``random`` module,
+  ``os.urandom``, random UUIDs, ``secrets``);
+* ``DET002`` — wall-clock reads outside timing-scoped helpers;
+* ``DET003`` — order-sensitive iteration over set-typed values;
+* ``DET004`` — ``id()``/``hash()``-based sort keys (hash randomization
+  and allocation order make these run-dependent).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import (
+    call_func_name,
+    dotted_name,
+    terminal_name,
+    walk_with_symbol,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleInfo, rule
+
+_GLOBAL_RANDOM_OK = frozenset({"Random", "SystemRandom"})
+_CLOCK_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "thread_time",
+        "thread_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+        "localtime",
+        "gmtime",
+        "ctime",
+        "asctime",
+        "sleep",
+    }
+)
+_DATETIME_CALLS = frozenset(
+    {
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+#: Consumers for which iteration order over a set cannot matter.
+_ORDER_INSENSITIVE_CALLS = frozenset(
+    {
+        "sorted",
+        "sum",
+        "len",
+        "min",
+        "max",
+        "any",
+        "all",
+        "set",
+        "frozenset",
+        "Counter",
+    }
+)
+_SET_ANNOTATION_NAMES = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _finding(
+    module: ModuleInfo,
+    node: ast.AST,
+    rule_id: str,
+    message: str,
+    symbol: str | None,
+) -> Finding:
+    return Finding(
+        path=module.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule_id,
+        message=message,
+        symbol=symbol,
+    )
+
+
+@rule(
+    "DET001",
+    "unseeded randomness (global random module, os.urandom, uuid4, secrets)",
+    deterministic_only=True,
+)
+def check_unseeded_random(module: ModuleInfo) -> Iterator[Finding]:
+    for node, symbol in walk_with_symbol(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            continue
+        if dotted == "random.Random" and not node.args and not node.keywords:
+            yield _finding(
+                module,
+                node,
+                "DET001",
+                "random.Random() without a seed; derive the seed from the "
+                "workload cell (see derive_seed)",
+                symbol,
+            )
+        elif (
+            dotted.startswith("random.")
+            and dotted.split(".", 1)[1] not in _GLOBAL_RANDOM_OK
+        ):
+            yield _finding(
+                module,
+                node,
+                "DET001",
+                f"'{dotted}' uses the process-global RNG; use a seeded "
+                "random.Random instance instead",
+                symbol,
+            )
+        elif dotted == "os.urandom" or dotted.startswith("secrets."):
+            yield _finding(
+                module,
+                node,
+                "DET001",
+                f"'{dotted}' is entropy from the OS; deterministic modules "
+                "must derive randomness from the cell seed",
+                symbol,
+            )
+        elif dotted in ("uuid.uuid1", "uuid.uuid4"):
+            yield _finding(
+                module,
+                node,
+                "DET001",
+                f"'{dotted}' generates run-dependent identifiers; derive "
+                "ids from the workload cell instead",
+                symbol,
+            )
+
+
+@rule(
+    "DET002",
+    "wall-clock access in a deterministic module",
+    deterministic_only=True,
+)
+def check_wall_clock(module: ModuleInfo) -> Iterator[Finding]:
+    for node, symbol in walk_with_symbol(module.tree):
+        dotted = dotted_name(node) if isinstance(node, ast.Attribute) else None
+        if dotted is None:
+            continue
+        if dotted.startswith("time.") and dotted[5:] in _CLOCK_ATTRS:
+            yield _finding(
+                module,
+                node,
+                "DET002",
+                f"wall-clock '{dotted}' in a deterministic module; move it "
+                "to a timing-scoped helper or pragma with a reason",
+                symbol,
+            )
+        elif dotted in _DATETIME_CALLS:
+            yield _finding(
+                module,
+                node,
+                "DET002",
+                f"wall-clock '{dotted}' in a deterministic module; move it "
+                "to a timing-scoped helper or pragma with a reason",
+                symbol,
+            )
+
+
+def _iter_scope_nodes(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """All nodes lexically in this scope.
+
+    Nested function/class definitions are *yielded* (so callers can
+    recurse into them with a child scope) but not entered — their bodies
+    belong to a different scope.
+    """
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _DEFS):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _SetTypes:
+    """Set-typed name environment for one lexical scope chain."""
+
+    def __init__(self, parent: "_SetTypes | None" = None) -> None:
+        self.parent = parent
+        self.names: set[str] = set()
+        self.demoted: set[str] = set()
+        #: ``self.<attr>`` attributes known set-typed (class scope only).
+        self.self_attrs: set[str] = set()
+
+    def name_is_set(self, name: str) -> bool:
+        if name in self.demoted:
+            return False
+        if name in self.names:
+            return True
+        return self.parent.name_is_set(name) if self.parent else False
+
+    def self_attr_is_set(self, attr: str) -> bool:
+        if attr in self.self_attrs:
+            return True
+        return self.parent.self_attr_is_set(attr) if self.parent else False
+
+
+def _is_set_annotation(annotation: ast.AST) -> bool:
+    """Whether the *outermost* annotated type is a set.
+
+    ``dict[Node, set[Node]]`` is not set-typed — only the top-level
+    constructor counts (through ``Optional``/``|`` unions).
+    """
+    if isinstance(annotation, ast.Subscript):
+        base = terminal_name(annotation.value)
+        if base in _SET_ANNOTATION_NAMES:
+            return True
+        if base == "Optional":
+            return _is_set_annotation(annotation.slice)
+        return False
+    if isinstance(annotation, (ast.Name, ast.Attribute)):
+        return terminal_name(annotation) in _SET_ANNOTATION_NAMES
+    if isinstance(annotation, ast.BinOp) and isinstance(
+        annotation.op, ast.BitOr
+    ):
+        return _is_set_annotation(annotation.left) or _is_set_annotation(
+            annotation.right
+        )
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        text = annotation.value.strip()
+        return any(
+            text == tok or text.startswith(tok + "[")
+            for tok in _SET_ANNOTATION_NAMES
+        )
+    return False
+
+
+def _is_set_expr(node: ast.AST, scope: _SetTypes) -> bool:
+    """Conservatively decide whether ``node`` evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SET_METHODS
+            and _value_is_set(func.value, scope)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return _value_is_set(node.left, scope) or _value_is_set(
+            node.right, scope
+        )
+    if isinstance(node, ast.IfExp):
+        return _is_set_expr(node.body, scope) and _is_set_expr(
+            node.orelse, scope
+        )
+    return False
+
+
+def _value_is_set(node: ast.AST, scope: _SetTypes) -> bool:
+    """Whether an expression is known set-typed (literal, name or attr)."""
+    if isinstance(node, ast.Name):
+        return scope.name_is_set(node.id)
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return scope.self_attr_is_set(node.attr)
+    return _is_set_expr(node, scope)
+
+
+def _describe(node: ast.AST) -> str:
+    dotted = dotted_name(node)
+    if dotted is not None:
+        return f"'{dotted}'"
+    return "a set expression"
+
+
+def _collect_scope_names(body: list[ast.stmt], scope: _SetTypes) -> None:
+    """Populate ``scope`` from assignments lexically in this scope.
+
+    Runs to a fixpoint so set-ness propagates through name-to-name
+    assignments (``keep = set(x); candidates = keep``).  Names that are
+    re-bound to a non-set expression are demoted — better to miss a
+    finding than to flag ``x = sorted(x)`` downstream.
+    """
+    assigns: list[tuple[str, ast.expr]] = []
+    seed = set(scope.names)
+    for node in _iter_scope_nodes(body):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    assigns.append((target.id, node.value))
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if _is_set_annotation(node.annotation):
+                seed.add(node.target.id)
+    scope.names = set(seed)
+    for _ in range(10):
+        promoted: set[str] = set()
+        demoted: set[str] = set()
+        for name, value in assigns:
+            if _value_is_set(value, scope):
+                promoted.add(name)
+            else:
+                demoted.add(name)
+        names = (seed | promoted) - demoted
+        if names == scope.names and demoted == scope.demoted:
+            break
+        scope.names = names
+        scope.demoted = demoted
+
+
+def _collect_class_self_attrs(cls: ast.ClassDef, scope: _SetTypes) -> None:
+    demoted: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            is_set = _is_set_expr(node.value, scope)
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    (scope.self_attrs if is_set else demoted).add(target.attr)
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and _is_set_annotation(node.annotation)
+            ):
+                scope.self_attrs.add(target.attr)
+    scope.self_attrs -= demoted
+
+
+@rule(
+    "DET003",
+    "order-sensitive iteration over a set-typed value",
+    deterministic_only=True,
+)
+def check_set_iteration(module: ModuleInfo) -> Iterator[Finding]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(module.tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+
+    findings: list[Finding] = []
+
+    def consumed_order_insensitively(node: ast.AST) -> bool:
+        parent = parents.get(node)
+        if isinstance(parent, ast.Call) and node in parent.args:
+            return call_func_name(parent) in _ORDER_INSENSITIVE_CALLS
+        return False
+
+    def flag(
+        node: ast.AST, expr: ast.AST, symbol: str | None, how: str
+    ) -> None:
+        findings.append(
+            _finding(
+                module,
+                node,
+                "DET003",
+                f"{how} {_describe(expr)} is iteration-order-dependent; "
+                "wrap it in sorted() or pragma with a reason it is "
+                "order-insensitive",
+                symbol,
+            )
+        )
+
+    def check_node(
+        node: ast.AST, scope: _SetTypes, symbol: str | None
+    ) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if _value_is_set(node.iter, scope):
+                flag(node, node.iter, symbol, "for-loop over")
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            if consumed_order_insensitively(node):
+                return
+            for gen in node.generators:
+                if _value_is_set(gen.iter, scope):
+                    flag(node, gen.iter, symbol, "comprehension over")
+        elif isinstance(node, ast.Call):
+            name = call_func_name(node)
+            if (
+                name in ("list", "tuple", "iter")
+                and len(node.args) == 1
+                and _value_is_set(node.args[0], scope)
+            ):
+                flag(
+                    node,
+                    node.args[0],
+                    symbol,
+                    f"{name}() materializes order of",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and len(node.args) == 1
+                and _value_is_set(node.args[0], scope)
+            ):
+                flag(node, node.args[0], symbol, "join() serializes order of")
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "pop"
+                and not node.args
+                and _value_is_set(node.func.value, scope)
+            ):
+                flag(
+                    node,
+                    node.func.value,
+                    symbol,
+                    "pop() takes an arbitrary element of",
+                )
+
+    def visit_scope(
+        body: list[ast.stmt], scope: _SetTypes, symbol: str | None
+    ) -> None:
+        _collect_scope_names(body, scope)
+        for node in _iter_scope_nodes(body):
+            if isinstance(node, ast.ClassDef):
+                cls_scope = _SetTypes(scope)
+                _collect_class_self_attrs(node, cls_scope)
+                cls_symbol = f"{symbol}.{node.name}" if symbol else node.name
+                visit_scope(node.body, cls_scope, cls_symbol)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn_scope = _SetTypes(scope)
+                fn_args = node.args
+                for arg in (
+                    fn_args.posonlyargs + fn_args.args + fn_args.kwonlyargs
+                ):
+                    if arg.annotation is not None and _is_set_annotation(
+                        arg.annotation
+                    ):
+                        fn_scope.names.add(arg.arg)
+                fn_symbol = f"{symbol}.{node.name}" if symbol else node.name
+                visit_scope(node.body, fn_scope, fn_symbol)
+            else:
+                check_node(node, scope, symbol)
+
+    visit_scope(list(module.tree.body), _SetTypes(), None)
+    findings.sort()
+    yield from findings
+
+
+@rule(
+    "DET004",
+    "id()/hash()-based sort key",
+    deterministic_only=True,
+)
+def check_hash_order_sort(module: ModuleInfo) -> Iterator[Finding]:
+    for node, symbol in walk_with_symbol(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_func_name(node)
+        is_sort = name == "sorted" or (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "sort"
+        )
+        if not is_sort:
+            continue
+        for keyword in node.keywords:
+            if keyword.arg != "key":
+                continue
+            key = keyword.value
+            offender: str | None = None
+            if isinstance(key, ast.Name) and key.id in ("id", "hash"):
+                offender = key.id
+            elif isinstance(key, ast.Lambda):
+                for sub in ast.walk(key.body):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Name)
+                        and sub.func.id in ("id", "hash")
+                    ):
+                        offender = sub.func.id
+                        break
+            if offender is not None:
+                yield _finding(
+                    module,
+                    node,
+                    "DET004",
+                    f"sort key uses {offender}(), which depends on "
+                    "allocation order / hash randomization; sort by a "
+                    "stable label instead",
+                    symbol,
+                )

@@ -1,0 +1,136 @@
+"""MSG rules: CONGEST nodes communicate only through the metered plane.
+
+The CONGEST simulator's accounting (messages, words, per-round ledgers)
+is only honest if every byte between nodes goes through the metered
+``send`` / ``send_many`` / ``broadcast`` API.  PR 6 fixed a variant of
+this (unmetered final-round outboxes); these rules make the whole class
+a lint error for ``NodeAlgorithm`` subclasses:
+
+* ``MSG001`` — a node algorithm reaching into network/scheduler
+  internals (inboxes, mailboxes, other nodes' algorithm objects);
+* ``MSG002`` — a node algorithm invoking another node's round handlers
+  directly, bypassing message transport entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import terminal_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleInfo, rule
+
+_ALGORITHM_BASES = frozenset({"NodeAlgorithm"})
+#: Attribute names that are network/scheduler internals from a node's
+#: point of view.  Touching them from algorithm code bypasses metering.
+_INTERNAL_ATTRS = frozenset(
+    {
+        "_inboxes",
+        "_outboxes",
+        "_mailboxes",
+        "_mailbox",
+        "_algorithms",
+        "_engine",
+        "_scheduler",
+        "_network",
+        "_views",
+        "_node_state",
+    }
+)
+_HANDLER_NAMES = frozenset({"on_round", "on_start"})
+
+
+def _finding(
+    module: ModuleInfo,
+    node: ast.AST,
+    rule_id: str,
+    message: str,
+    symbol: str,
+) -> Finding:
+    return Finding(
+        path=module.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule_id,
+        message=message,
+        symbol=symbol,
+    )
+
+
+def _algorithm_classes(tree: ast.Module) -> list[ast.ClassDef]:
+    """Classes deriving (transitively, within this module) from
+    ``NodeAlgorithm``."""
+    classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+    algorithmic: set[str] = set(_ALGORITHM_BASES)
+    # Fixpoint over in-module inheritance chains.
+    changed = True
+    selected: list[ast.ClassDef] = []
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name in algorithmic:
+                continue
+            for base in cls.bases:
+                base_name = terminal_name(base)
+                if base_name in algorithmic:
+                    algorithmic.add(cls.name)
+                    selected.append(cls)
+                    changed = True
+                    break
+    return selected
+
+
+@rule(
+    "MSG001",
+    "node algorithm touches network internals instead of the message API",
+)
+def check_network_internal_access(module: ModuleInfo) -> Iterator[Finding]:
+    for cls in _algorithm_classes(module.tree):
+        for node in ast.walk(cls):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _INTERNAL_ATTRS
+            ):
+                yield _finding(
+                    module,
+                    node,
+                    "MSG001",
+                    f"node algorithm accesses network internal "
+                    f"'{node.attr}'; nodes may only communicate through "
+                    "metered send/send_many/broadcast",
+                    cls.name,
+                )
+
+
+@rule(
+    "MSG002",
+    "node algorithm calls another node's round handler directly",
+)
+def check_direct_handler_call(module: ModuleInfo) -> Iterator[Finding]:
+    for cls in _algorithm_classes(module.tree):
+        for node in ast.walk(cls):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _HANDLER_NAMES
+            ):
+                continue
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                continue
+            if (
+                isinstance(receiver, ast.Call)
+                and isinstance(receiver.func, ast.Name)
+                and receiver.func.id == "super"
+            ):
+                continue
+            yield _finding(
+                module,
+                node,
+                "MSG002",
+                f"node algorithm invokes '{node.func.attr}' on another "
+                "object, bypassing the metered message plane; communicate "
+                "via send/send_many/broadcast",
+                cls.name,
+            )

@@ -1,0 +1,203 @@
+"""PAR rules: fork/pipe boundary safety for the shard-worker plane.
+
+The parallel MPC executor (``repro.mpc.parallel``) forks shard workers
+and talks to them over pipes with a typed transport: JSON-safe task and
+result tuples, exceptions rebuilt from ``describe_error`` descriptors.
+These rules pin the boundary conditions that make that sound:
+
+* ``PAR001`` — unpicklable objects (lambdas, generator expressions)
+  handed to a pipe ``send()``;
+* ``PAR002`` — shard-side code writing module-level state (post-fork
+  writes never reach the parent, so such state silently diverges);
+* ``PAR003`` — a caught exception object sent through a pipe raw
+  instead of as a ``describe_error`` descriptor.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import terminal_name, walk_with_symbol
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleInfo, rule
+
+#: Receiver names treated as pipe/connection endpoints.
+_PIPE_NAMES = frozenset({"conn", "pipe", "connection"})
+_PIPE_SUFFIXES = ("_conn", "_pipe")
+
+
+def _finding(
+    module: ModuleInfo,
+    node: ast.AST,
+    rule_id: str,
+    message: str,
+    symbol: str | None,
+) -> Finding:
+    return Finding(
+        path=module.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule_id,
+        message=message,
+        symbol=symbol,
+    )
+
+
+def _is_pipe_receiver(node: ast.AST) -> bool:
+    name = terminal_name(node)
+    if name is None:
+        return False
+    return name in _PIPE_NAMES or name.endswith(_PIPE_SUFFIXES)
+
+
+def _pipe_sends(tree: ast.Module) -> Iterator[tuple[ast.Call, str | None]]:
+    for node, symbol in walk_with_symbol(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "send"
+            and _is_pipe_receiver(node.func.value)
+        ):
+            yield node, symbol
+
+
+@rule(
+    "PAR001",
+    "unpicklable object (lambda/generator) sent through a worker pipe",
+)
+def check_pipe_unpicklable(module: ModuleInfo) -> Iterator[Finding]:
+    for call, symbol in _pipe_sends(module.tree):
+        for arg in call.args:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Lambda):
+                    yield _finding(
+                        module,
+                        sub,
+                        "PAR001",
+                        "lambda sent through a worker pipe cannot be "
+                        "pickled; send data and rebuild callables on the "
+                        "shard side",
+                        symbol,
+                    )
+                elif isinstance(sub, ast.GeneratorExp):
+                    yield _finding(
+                        module,
+                        sub,
+                        "PAR001",
+                        "generator sent through a worker pipe cannot be "
+                        "pickled; materialize it to a list first",
+                        symbol,
+                    )
+
+
+@rule(
+    "PAR002",
+    "shard-side code writes module-level state lost at the fork boundary",
+)
+def check_fork_global_write(module: ModuleInfo) -> Iterator[Finding]:
+    module_globals: set[str] = set()
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    module_globals.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            module_globals.add(stmt.target.id)
+
+    def shard_classes(tree: ast.Module) -> Iterator[ast.ClassDef]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name.endswith("Shard"):
+                yield node
+
+    def shard_functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+        for node in ast.walk(tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and node.name.endswith("_shard_main"):
+                yield node
+
+    def check_scope(
+        scope: ast.AST, symbol: str
+    ) -> Iterator[Finding]:
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    yield _finding(
+                        module,
+                        node,
+                        "PAR002",
+                        f"shard-side write to module global '{name}'; "
+                        "post-fork writes never reach the parent — return "
+                        "state through the pipe result instead",
+                        symbol,
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in module_globals
+                        and target.id.isupper()
+                    ):
+                        yield _finding(
+                            module,
+                            node,
+                            "PAR002",
+                            f"shard-side rebind of module-level "
+                            f"'{target.id}'; post-fork writes never reach "
+                            "the parent — return state through the pipe "
+                            "result instead",
+                            symbol,
+                        )
+
+    for cls in shard_classes(module.tree):
+        yield from check_scope(cls, cls.name)
+    for fn in shard_functions(module.tree):
+        yield from check_scope(fn, fn.name)
+
+
+@rule(
+    "PAR003",
+    "caught exception object sent raw through a worker pipe",
+)
+def check_raw_exception_transport(module: ModuleInfo) -> Iterator[Finding]:
+    for node, symbol in walk_with_symbol(module.tree):
+        if not isinstance(node, ast.ExceptHandler) or node.name is None:
+            continue
+        caught = node.name
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "send"
+                and _is_pipe_receiver(sub.func.value)
+            ):
+                for arg_node in sub.args:
+                    names = {
+                        n.id
+                        for n in ast.walk(arg_node)
+                        if isinstance(n, ast.Name)
+                    }
+                    if caught in names and not _is_described(arg_node, caught):
+                        yield _finding(
+                            module,
+                            sub,
+                            "PAR003",
+                            f"exception '{caught}' crosses a worker pipe "
+                            "raw; use describe_error/rebuild_exception "
+                            "typed transport",
+                            symbol,
+                        )
+
+
+def _is_described(arg: ast.AST, caught: str) -> bool:
+    """Whether the caught exception travels as a typed descriptor."""
+    del caught
+    for node in ast.walk(arg):
+        if isinstance(node, ast.Call):
+            func_name = terminal_name(node.func)
+            if func_name in ("describe_error", "describe_exception"):
+                return True
+    return False

@@ -85,6 +85,7 @@ class MailboxRing:
         Returns the set of nodes with traffic to consume this round.  The
         returned set is internal state — callers must not mutate it.
         """
+        # repro: allow[DET003] clearing every dirty buffer commutes; order never observed
         for node_id in self._front_dirty:
             self._front[node_id].clear()
         self._front_dirty.clear()

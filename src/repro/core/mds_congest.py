@@ -217,7 +217,7 @@ class VoteEstimationAlgorithm(NodeAlgorithm):
             self.step = 1
             outbox = {
                 c: (_TAG_VWMIN, groups[c])
-                for c in self.candidate_neighbors
+                for c in sorted(self.candidate_neighbors)
                 if c in groups
             }
             return outbox or None

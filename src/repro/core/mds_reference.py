@@ -58,17 +58,21 @@ def reference_mds_square(
             if rho[v] > 0
             and all(rho[v] >= rho[u] for u in closed2[v] if u != v)
         }
-        ranks = {c: (rng.randrange(n ** 4), repr(c)) for c in candidates}
-        votes: dict[Node, int] = {c: 0 for c in candidates}
-        for u in uncovered:
-            in_range = [c for c in candidates if c == u or sq.has_edge(u, c)]
+        # Draw ranks in sorted label order: consuming the RNG in set
+        # iteration order would make the sample depend on hash layout,
+        # which varies across processes for non-integer labels.
+        ordered = sorted(candidates, key=repr)
+        ranks = {c: (rng.randrange(n ** 4), repr(c)) for c in ordered}
+        votes: dict[Node, int] = {c: 0 for c in ordered}
+        for u in sorted(uncovered, key=repr):
+            in_range = [c for c in ordered if c == u or sq.has_edge(u, c)]
             if in_range:
                 votes[min(in_range, key=lambda c: ranks[c])] += 1
         winners = {
-            c for c in candidates if votes[c] >= coverage[c] / 8.0
+            c for c in ordered if votes[c] >= coverage[c] / 8.0
         }
         newly_covered = set()
-        for w in winners:
+        for w in sorted(winners, key=repr):
             newly_covered |= closed2[w] & uncovered
         history.append(
             {

@@ -75,7 +75,10 @@ class WeightedPhaseOneAlgorithm(NodeAlgorithm):
 
     def _candidate_window(self) -> tuple[int, int] | None:
         """Smallest weight class satisfying condition (7), if any."""
-        active = [u for u in self.r_neighbors if self.neighbor_weight[u] > 0]
+        active = [
+            u for u in sorted(self.r_neighbors)
+            if self.neighbor_weight[u] > 0
+        ]
         if not active:
             return None
         # Class boundaries anchor at the lightest *remaining* neighbor

@@ -70,7 +70,9 @@ class _DominationSolver:
         pool = set(candidates)
         while remaining:
             best, best_score = None, -1.0
-            for c in pool:
+            # Sorted scan: score ties must break by label, not by the
+            # pool's hash-dependent iteration order.
+            for c in sorted(pool, key=repr):
                 gain = len(self.closed[c] & remaining)
                 if gain == 0:
                     continue
@@ -89,7 +91,9 @@ class _DominationSolver:
         """Pack undominated vertices with disjoint candidate sets."""
         used: set[Node] = set()
         bound = 0.0
-        for u in undominated:
+        # The packing (and hence the bound) depends on visit order; pin
+        # it so pruning decisions are identical across runs.
+        for u in sorted(undominated, key=repr):
             dominators = self.closed[u] & candidates
             if dominators & used:
                 continue
@@ -123,7 +127,7 @@ class _DominationSolver:
             # Free candidates (weight 0) that cover anything are always safe.
             free = [
                 c
-                for c in candidates
+                for c in sorted(candidates, key=repr)
                 if self.weights[c] == 0 and self.closed[c] & undominated
             ]
             if free:
@@ -134,12 +138,15 @@ class _DominationSolver:
                 continue
 
             # Forced: undominated vertex with a unique candidate dominator.
+            # Which forced move applies first steers the search between
+            # equal-cost optima, so the scan order must be pinned.
             forced = None
-            for u in undominated:
+            for u in sorted(undominated, key=repr):
                 dominators = self.closed[u] & candidates
                 if not dominators:
                     return  # infeasible branch
                 if len(dominators) == 1:
+                    # repro: allow[DET003] singleton set; iter() takes its only element
                     forced = next(iter(dominators))
                     break
             if forced is not None:
@@ -152,7 +159,8 @@ class _DominationSolver:
 
         # Vertex dominance: keep only minimal dominator sets.
         dominator_sets = {
-            u: frozenset(self.closed[u] & candidates) for u in undominated
+            u: frozenset(self.closed[u] & candidates)
+            for u in sorted(undominated, key=repr)
         }
         essential = set(undominated)
         ordered = sorted(undominated, key=lambda u: (len(dominator_sets[u]), repr(u)))
@@ -166,7 +174,7 @@ class _DominationSolver:
         # Candidate dominance: drop candidates covered by a better candidate.
         useful = {
             c: frozenset(self.closed[c] & essential)
-            for c in candidates
+            for c in sorted(candidates, key=repr)
             if self.closed[c] & essential
         }
         keep = set(useful)
@@ -246,6 +254,7 @@ def dominating_set_brute(
         for combo in combinations(nodes, size):
             chosen = set(combo)
             covered = set()
+            # repro: allow[DET003] set-union accumulation commutes; sorting the hot brute-force loop buys nothing
             for c in chosen:
                 covered |= closed[c]
             if len(covered) == len(nodes):

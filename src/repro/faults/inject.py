@@ -66,7 +66,7 @@ class FaultInjector:
         """Pool hook: straggle then crash events scheduled for this barrier."""
         for event in self._pop("straggle", step_index):
             if event.delay > 0:
-                time.sleep(event.delay)
+                time.sleep(event.delay)  # repro: allow[DET002] straggler injection is timing-plane behavior by design
             self.injected["straggle"] += 1
             self.fired.append(("straggle", step_index, None))
             self._mark("straggle", step_index, None)

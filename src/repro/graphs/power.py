@@ -90,10 +90,12 @@ def induced_square_subgraph(graph: nx.Graph, vertices: Iterable[Node]) -> nx.Gra
     """
     vertex_set = set(vertices)
     result = nx.Graph()
+    # Insert in sorted label order: networkx iteration order follows
+    # insertion, and downstream solvers iterate ``result.nodes``.
     result.add_nodes_from(
-        (v, graph.nodes[v]) for v in vertex_set
+        (v, graph.nodes[v]) for v in sorted(vertex_set, key=repr)
     )
-    for source in vertex_set:
+    for source in sorted(vertex_set, key=repr):
         for target in _bounded_bfs(graph, source, 2):
             if target in vertex_set:
                 result.add_edge(source, target)

@@ -23,7 +23,7 @@ def _as_known_set(graph: nx.Graph, vertices: Iterable[Node]) -> set[Node]:
     if unknown:
         raise ValueError(
             f"solution contains {len(unknown)} vertices not in the graph, "
-            f"e.g. {next(iter(unknown))!r}"
+            f"e.g. {min(unknown, key=repr)!r}"
         )
     return solution
 

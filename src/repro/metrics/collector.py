@@ -39,6 +39,12 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.contract import (
+    find_timing_scoped_keys,
+    is_deterministic_int,
+    reject_non_integer_series,
+)
+
 #: Schema identifier stamped on every emitted document.  ``/2`` added
 #: the ``convergence`` section to the deterministic payload.
 SCHEMA = "repro.metrics/2"
@@ -290,22 +296,36 @@ def validate_metrics(document: dict[str, Any]) -> None:
     for key in ("rounds", "messages", "words", "cut_words"):
         if key not in totals:
             raise ValueError(f"deterministic.totals is missing {key!r}")
+    leaked = find_timing_scoped_keys(deterministic)
+    if leaked:
+        raise ValueError(
+            "timing-scope: deterministic section contains timing-scoped "
+            f"field(s): {', '.join(leaked)}"
+        )
+    for key in ("rounds", "messages", "words", "cut_words"):
+        if not is_deterministic_int(totals[key]):
+            raise ValueError(
+                f"integer-series: totals[{key!r}] must be an integer, "
+                f"got {totals[key]!r} ({type(totals[key]).__name__})"
+            )
     convergence = deterministic.get("convergence")
     if not isinstance(convergence, dict):
         raise ValueError("deterministic.convergence must be an object")
     for name, series in convergence.items():
-        if not isinstance(series, list) or not all(
-            isinstance(v, int) and not isinstance(v, bool) for v in series
-        ):
-            raise ValueError(
-                f"convergence series {name!r} must be a list of integers"
-            )
+        reject_non_integer_series(
+            f"convergence.{name}", series, "integer-series"
+        )
     for index, phase in enumerate(deterministic["phases"]):
         for key in ("index", "label", "rounds", "messages", "words",
                     "cut_words", "series"):
             if key not in phase:
                 raise ValueError(f"phase {index} is missing {key!r}")
         series = phase["series"]
+        for key in ("messages", "words", "cut_words"):
+            reject_non_integer_series(
+                f"phases[{index}].series.{key}", series[key],
+                "integer-series",
+            )
         lengths = {len(series[k]) for k in ("messages", "words", "cut_words")}
         if len(lengths) != 1:
             raise ValueError(f"phase {index} series lengths disagree")

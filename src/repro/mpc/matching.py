@@ -437,6 +437,7 @@ def mpc_maximal_matching(
 def assert_maximal_matching(graph: nx.Graph, matching: set[frozenset]) -> None:
     """Raise ``AssertionError`` unless ``matching`` is a maximal matching."""
     matched: set = set()
+    # repro: allow[DET003] per-edge assertions are independent and matched.update commutes
     for edge in matching:
         u, v = tuple(edge)
         assert graph.has_edge(u, v), f"{u!r}-{v!r} is not an edge of G"

@@ -186,7 +186,7 @@ def _shard_main(conn, handler: Callable[[Any], Any]) -> None:
     unconditional — two clock reads per task — and purely additive: the
     stamps never influence results, ordering or the ledger.
     """
-    monotonic_ns = time.monotonic_ns
+    monotonic_ns = time.monotonic_ns  # repro: allow[DET002] worker timeline stamps are variant-scoped, never in the ledger
     try:
         while True:
             try:

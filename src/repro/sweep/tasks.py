@@ -696,7 +696,7 @@ def _selftest_fail(cell: Cell) -> dict[str, Any]:
 @register_task("selftest-sleep")
 def _selftest_sleep(cell: Cell) -> dict[str, Any]:
     """Sleeps ``params['sleep']`` seconds; exercises timeout capture."""
-    time.sleep(float(cell.param("sleep", 1.0)))
+    time.sleep(float(cell.param("sleep", 1.0)))  # repro: allow[DET002] selftest task exists to exercise timeout capture
     return {"slept": float(cell.param("sleep", 1.0))}
 
 

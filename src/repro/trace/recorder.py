@@ -166,9 +166,14 @@ class TraceRecorder:
         self._emit("i", name, self.now_ns(), tid, cat, args or None, s="t")
 
     def counter(
-        self, name: str, values: dict[str, float], tid: int = MAIN_TID
+        self, name: str, values: dict[str, int], tid: int = MAIN_TID
     ) -> None:
-        """A counter sample (trace-event ``C``), e.g. per-round traffic."""
+        """A counter sample (trace-event ``C``), e.g. per-round traffic.
+
+        Counter args are deterministic per-round series by contract:
+        integer values only, and never timing-scoped field names (see
+        :mod:`repro.contract`); ``validate_trace`` enforces both.
+        """
         self._emit("C", name, self.now_ns(), tid, "", dict(values))
 
     # -- output ------------------------------------------------------------

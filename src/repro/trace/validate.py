@@ -4,15 +4,21 @@ Not a full Chrome trace-event implementation — exactly the subset the
 recorder emits, checked strictly: every event carries ``ph``/``ts``/
 ``pid``/``tid``, phases are from the known set, ``B``/``E`` spans nest
 properly per ``(pid, tid)`` track, and ``X`` events carry a non-negative
-``dur``.  Returns a summary so callers (tests, the CI smoke step) can
-assert on what the trace actually contains.
+``dur``.  ``C`` counter events carry deterministic per-round series, so
+their args must be genuine integers (``counter-integer-series``) and
+must not use timing-scoped field names (``timing-scope`` — the shared
+list in :mod:`repro.contract`).  Returns a summary so callers (tests,
+the CI smoke step) can assert on what the trace actually contains.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any
+
+from repro.contract import TIMING_SCOPED_FIELD_SET, is_deterministic_int
 
 #: Event phases the recorder emits.
 KNOWN_PHASES = frozenset({"B", "E", "X", "i", "C", "M"})
@@ -77,6 +83,30 @@ def validate_trace(document: Any) -> dict[str, Any]:
             if not isinstance(dur, (int, float)) or dur < 0:
                 raise ValueError(f"event #{index}: X without dur >= 0")
             spans += 1
+        elif ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(
+                    f"event #{index}: C without a non-empty args object"
+                )
+            for arg_name, value in args.items():
+                if arg_name in TIMING_SCOPED_FIELD_SET:
+                    raise ValueError(
+                        f"timing-scope: event #{index} counter arg "
+                        f"{arg_name!r} is a timing-scoped field; counters "
+                        "carry deterministic per-round series only"
+                    )
+                if not is_deterministic_int(value):
+                    detail = (
+                        "NaN"
+                        if isinstance(value, float) and math.isnan(value)
+                        else repr(value)
+                    )
+                    raise ValueError(
+                        f"counter-integer-series: event #{index} counter "
+                        f"arg {arg_name!r} must be an integer, got "
+                        f"{detail} ({type(value).__name__})"
+                    )
     for track, stack in stacks.items():
         if stack:
             raise ValueError(

@@ -12,12 +12,14 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
+from repro.analysis.registry import RULES
 from repro.cli import build_parser
 from repro.sweep.grids import NAMED_GRIDS
 
 REPO = Path(__file__).resolve().parent.parent
 README = REPO / "README.md"
 DESIGN = REPO / "DESIGN.md"
+CI = REPO / ".github" / "workflows" / "ci.yml"
 
 
 def _subparsers(parser):
@@ -89,3 +91,35 @@ class TestDesignTracksBenchmarks:
             "benchmarks/_common.py docstring must cite the DESIGN.md "
             "experiment index"
         )
+
+
+class TestAnalysisGateRegistered:
+    """The determinism-contract analyzer is wired into CI and the docs."""
+
+    def test_ci_has_analysis_job(self):
+        text = CI.read_text()
+        assert "\n  analysis:\n" in text, (
+            "ci.yml must define an 'analysis' job"
+        )
+        assert (
+            "python -m repro.analysis src tests benchmarks --format json"
+            in text
+        ), "the analysis job must scan src, tests and benchmarks as JSON"
+        assert "analysis-report.json" in text, (
+            "the analysis job must upload its JSON report artifact"
+        )
+
+    def test_readme_has_quickstart(self):
+        text = README.read_text()
+        assert "python -m repro.analysis" in text
+        assert "# repro: allow[" in text, (
+            "README must show the suppression-pragma syntax"
+        )
+
+    def test_design_documents_every_rule(self):
+        text = DESIGN.read_text()
+        assert "Determinism contract as enforced invariants" in text
+        for rule_id in RULES:
+            assert rule_id in text, (
+                f"rule {rule_id} is not documented in DESIGN.md"
+            )

@@ -454,5 +454,5 @@ class TestConvergenceSeries:
         doc["deterministic_sha256"] = deterministic_sha256(
             doc["deterministic"]
         )
-        with pytest.raises(ValueError, match="list of integers"):
+        with pytest.raises(ValueError, match="integer-series"):
             validate_metrics(doc)
